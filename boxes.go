@@ -1,0 +1,86 @@
+package alc
+
+// Typed box handles: thin, allocation-free wrappers that give frequently
+// used value types a safer accessor surface than raw Read/Write with type
+// assertions. A handle is just the box name; it carries no state and is
+// freely shareable.
+
+// IntBox is a handle on a box holding an int.
+type IntBox string
+
+// Get reads the box in tx.
+func (b IntBox) Get(tx *Tx) (int, error) { return tx.ReadInt(string(b)) }
+
+// Set writes v to the box in tx.
+func (b IntBox) Set(tx *Tx, v int) error { return tx.Write(string(b), v) }
+
+// Add increments the box by delta and returns the new value. It reads the
+// current value, so concurrent Adds conflict (and serialize) as expected of
+// a counter.
+func (b IntBox) Add(tx *Tx, delta int) (int, error) {
+	v, err := b.Get(tx)
+	if err != nil {
+		return 0, err
+	}
+	v += delta
+	return v, b.Set(tx, v)
+}
+
+// StringBox is a handle on a box holding a string.
+type StringBox string
+
+// Get reads the box in tx.
+func (b StringBox) Get(tx *Tx) (string, error) {
+	v, err := tx.Read(string(b))
+	if err != nil {
+		return "", err
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", &TypeError{Box: string(b), Value: v}
+	}
+	return s, nil
+}
+
+// Set writes v to the box in tx.
+func (b StringBox) Set(tx *Tx, v string) error { return tx.Write(string(b), v) }
+
+// BoolBox is a handle on a box holding a bool.
+type BoolBox string
+
+// Get reads the box in tx.
+func (b BoolBox) Get(tx *Tx) (bool, error) {
+	v, err := tx.Read(string(b))
+	if err != nil {
+		return false, err
+	}
+	val, ok := v.(bool)
+	if !ok {
+		return false, &TypeError{Box: string(b), Value: v}
+	}
+	return val, nil
+}
+
+// Set writes v to the box in tx.
+func (b BoolBox) Set(tx *Tx, v bool) error { return tx.Write(string(b), v) }
+
+// BytesBox is a handle on a box holding an immutable byte slice. The slice
+// must not be mutated after Set (it is shared across snapshots and
+// replicas); Get returns the stored slice without copying.
+type BytesBox string
+
+// Get reads the box in tx.
+func (b BytesBox) Get(tx *Tx) ([]byte, error) {
+	v, err := tx.Read(string(b))
+	if err != nil {
+		return nil, err
+	}
+	data, ok := v.([]byte)
+	if !ok {
+		return nil, &TypeError{Box: string(b), Value: v}
+	}
+	return data, nil
+}
+
+// Set writes v to the box in tx. The caller relinquishes ownership of v.
+func (b BytesBox) Set(tx *Tx, v []byte) error { return tx.Write(string(b), v) }

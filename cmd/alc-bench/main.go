@@ -1,0 +1,206 @@
+// Command alc-bench regenerates the paper's evaluation tables and figures
+// (§5) on the simulated cluster, plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	alc-bench -experiment fig3a              # Bank, no conflict  (Fig. 3a)
+//	alc-bench -experiment fig3b              # Bank, high conflict (Fig. 3b)
+//	alc-bench -experiment fig4               # Lee-TM speed-up + aborts (Fig. 4a/4b)
+//	alc-bench -experiment latency            # §4.5 commit-latency decomposition
+//	alc-bench -experiment ablation-opt       # §4.5 optimization ablation
+//	alc-bench -experiment ablation-cc        # conflict-class granularity sweep
+//	alc-bench -experiment ablation-bloom     # D2STM Bloom size/abort trade-off
+//	alc-bench -experiment all
+//
+// Scale knobs: -replicas (comma list), -duration per cell, -latency one-way
+// network latency, -nets/-grid for Lee.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/alcstm/alc/internal/bank"
+	"github.com/alcstm/alc/internal/bench"
+	"github.com/alcstm/alc/internal/lee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		experiment  = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|all")
+		replicaArg  = flag.String("replicas", "2,3,4,5,6,7,8", "comma-separated cluster sizes for the sweeps")
+		duration    = flag.Duration("duration", 2*time.Second, "measured duration per throughput cell")
+		latCommits  = flag.Int("latency-commits", 300, "commits per latency cell")
+		grid        = flag.Int("grid", 64, "Lee board dimension (grid x grid)")
+		nets        = flag.Int("nets", 160, "Lee net count")
+		workPerRead = flag.Duration("work-per-read", 100*time.Microsecond, "Lee per-cell expansion cost (transaction length model)")
+		abCeiling   = flag.Duration("ab-ceiling", 0, "sequencer pacing per ordered message (0 = calibrated default, negative = native uncapped AB)")
+		csvPath     = flag.String("csv", "", "append results in long-format CSV to this file")
+	)
+	flag.Parse()
+
+	replicas, err := parseInts(*replicaArg)
+	if err != nil {
+		return err
+	}
+	var csvw *bench.CSVWriter
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvw = bench.NewCSVWriter(f)
+		defer csvw.Flush() //nolint:errcheck // best-effort on exit
+	}
+
+	bankCfg := bench.BankConfig{Duration: *duration, Warmup: 300 * time.Millisecond, ABCeiling: *abCeiling}
+	leeCfg := bench.LeeConfig{Board: lee.GenConfig{W: *grid, H: *grid, Nets: *nets, Seed: 42}, WorkPerRead: *workPerRead, ABCeiling: *abCeiling}
+
+	experiments := map[string]func() error{
+		"fig3a": func() error {
+			rows, err := bench.RunFig3(replicas, bank.NoConflict, bankCfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig3(os.Stdout, "Figure 3(a) — Bank benchmark, no conflict (throughput, commits/s)", rows)
+			if csvw != nil {
+				return csvw.WriteFig3("fig3a", rows)
+			}
+			return nil
+		},
+		"fig3b": func() error {
+			rows, err := bench.RunFig3(replicas, bank.HighConflict, bankCfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig3(os.Stdout, "Figure 3(b) — Bank benchmark, high conflict (throughput + abort rate)", rows)
+			if csvw != nil {
+				return csvw.WriteFig3("fig3b", rows)
+			}
+			return nil
+		},
+		"fig4": func() error {
+			rows, err := bench.RunFig4(replicas, leeCfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintFig4(os.Stdout, "Figure 4 — Lee-TM benchmark (a: speed-up ALC vs CERT, b: abort rate)", rows)
+			if csvw != nil {
+				return csvw.WriteFig4("fig4", rows)
+			}
+			return nil
+		},
+		"latency": func() error {
+			n := 3
+			if len(replicas) > 0 {
+				n = replicas[0]
+			}
+			rows, err := bench.RunLatency(n, *latCommits)
+			if err != nil {
+				return err
+			}
+			bench.PrintLatency(os.Stdout,
+				fmt.Sprintf("§4.5 — Commit-phase latency by protocol variant (n=%d, one-way latency %v)",
+					n, bench.DefaultLatency), rows)
+			if csvw != nil {
+				return csvw.WriteLatency("latency", rows)
+			}
+			return nil
+		},
+		"ablation-opt": func() error {
+			n := 3
+			if len(replicas) > 0 {
+				n = replicas[0]
+			}
+			rows, err := bench.RunAblationOpt(n, bankCfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblation(os.Stdout,
+				fmt.Sprintf("Ablation — §4.5 optimizations on high-conflict bank (n=%d)", n), rows)
+			if csvw != nil {
+				return csvw.WriteAblation("ablation-opt", rows)
+			}
+			return nil
+		},
+		"ablation-cc": func() error {
+			n := 4
+			rows, err := bench.RunAblationCC(n, []int{1, 2, 8, 64, 0}, bankCfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblation(os.Stdout,
+				fmt.Sprintf("Ablation — conflict-class granularity on no-conflict bank (n=%d)", n), rows)
+			if csvw != nil {
+				return csvw.WriteAblation("ablation-cc", rows)
+			}
+			return nil
+		},
+		"ablation-locality": func() error {
+			rows, err := bench.RunAblationLocality(4, *duration)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblation(os.Stdout,
+				"Ablation — §6 locality-aware routing on high-conflict bank (n=4)", rows)
+			if csvw != nil {
+				return csvw.WriteAblation("ablation-locality", rows)
+			}
+			return nil
+		},
+		"ablation-bloom": func() error {
+			rows, err := bench.RunAblationBloom(3, []float64{0, 0.001, 0.01, 0.05, 0.15}, *duration)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblation(os.Stdout,
+				"Ablation — CERT read-set Bloom encoding: size vs spurious aborts (D2STM trade-off)", rows)
+			if csvw != nil {
+				return csvw.WriteAblation("ablation-bloom", rows)
+			}
+			return nil
+		},
+	}
+
+	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality"}
+	if *experiment != "all" {
+		fn, ok := experiments[*experiment]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want one of %s, all)",
+				*experiment, strings.Join(order, ", "))
+		}
+		return fn()
+	}
+	for _, name := range order {
+		if err := experiments[name](); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad replica count %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package alc_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	alc "github.com/alcstm/alc"
+)
+
+// ExampleNewCluster shows the minimal lifecycle: start a cluster, seed
+// state, run a replicated transaction, audit with a read-only one.
+func ExampleNewCluster() {
+	cluster, err := alc.NewCluster(alc.Config{Replicas: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if err := cluster.Seed(map[string]alc.Value{"counter": 0}); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := cluster.Replica(0).Atomic(func(tx *alc.Tx) error {
+		n, err := tx.ReadInt("counter")
+		if err != nil {
+			return err
+		}
+		return tx.Write("counter", n+1)
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := cluster.WaitConverged(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	_ = cluster.Replica(2).AtomicRO(func(tx *alc.Tx) error {
+		n, err := tx.ReadInt("counter")
+		if err != nil {
+			return err
+		}
+		fmt.Println("counter:", n)
+		return nil
+	})
+	// Output: counter: 1
+}
+
+// ExampleReplica_Atomic demonstrates conflict-transparent retries: the
+// closure may run several times, so it must be side-effect free apart from
+// its transactional reads and writes.
+func ExampleReplica_Atomic() {
+	cluster, err := alc.NewCluster(alc.Config{Replicas: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Seed(map[string]alc.Value{"from": 50, "to": 0}); err != nil {
+		log.Fatal(err)
+	}
+
+	err = cluster.Replica(0).Atomic(func(tx *alc.Tx) error {
+		from, err := tx.ReadInt("from")
+		if err != nil {
+			return err
+		}
+		if from < 10 {
+			return fmt.Errorf("insufficient funds: %d", from)
+		}
+		to, err := tx.ReadInt("to")
+		if err != nil {
+			return err
+		}
+		if err := tx.Write("from", from-10); err != nil {
+			return err
+		}
+		return tx.Write("to", to+10)
+	})
+	fmt.Println("err:", err)
+	// Output: err: <nil>
+}

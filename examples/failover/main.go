@@ -1,0 +1,128 @@
+// Failover: the dependability story. A 5-replica cluster runs a workload
+// while a replica crashes mid-run (the group reconfigures and the dead
+// replica's leases are revoked), a minority partition is ejected (its
+// replica keeps serving stale read-only transactions, exactly as §3
+// permits), and the crashed replica is restarted and readmitted through a
+// state transfer.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	alc "github.com/alcstm/alc"
+)
+
+func main() {
+	cluster, err := alc.NewCluster(alc.Config{Replicas: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Seed(map[string]alc.Value{"ledger": 0}); err != nil {
+		log.Fatal(err)
+	}
+
+	step := func(format string, args ...any) { fmt.Printf("==> "+format+"\n", args...) }
+	add := func(r *alc.Replica) error {
+		return r.Atomic(func(tx *alc.Tx) error {
+			v, err := tx.ReadInt("ledger")
+			if err != nil {
+				return err
+			}
+			return tx.Write("ledger", v+1)
+		})
+	}
+	ledger := func(r *alc.Replica) int {
+		v := -1
+		_ = r.AtomicRO(func(tx *alc.Tx) error {
+			n, err := tx.ReadInt("ledger")
+			v = n
+			return err
+		})
+		return v
+	}
+
+	step("5 replicas up; committing from replica 4 (this acquires the lease)")
+	for i := 0; i < 5; i++ {
+		if err := add(cluster.Replica(4)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("    ledger = %d\n", ledger(cluster.Replica(4)))
+
+	step("crashing replica 4 while it holds the lease")
+	cluster.Crash(4)
+
+	step("replica 0 takes over: the view change revokes the dead replica's lease")
+	start := time.Now()
+	for {
+		if err := add(cluster.Replica(0)); err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("    recovered in %v; ledger = %d\n",
+		time.Since(start).Round(time.Millisecond), ledger(cluster.Replica(0)))
+
+	step("partitioning replica 3 away from the majority")
+	cluster.Partition([]int{3}, []int{0, 1, 2})
+	var ejectErr error
+	for {
+		ejectErr = add(cluster.Replica(3))
+		if errors.Is(ejectErr, alc.ErrEjected) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("    replica 3 update rejected: %v\n", ejectErr)
+	fmt.Printf("    but its read-only snapshot still serves: ledger = %d (stale)\n",
+		ledger(cluster.Replica(3)))
+
+	step("majority keeps committing during the partition")
+	for i := 0; i < 3; i++ {
+		if err := add(cluster.Replica(1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("    majority ledger = %d\n", ledger(cluster.Replica(1)))
+
+	step("healing the partition: replica 3 rejoins automatically")
+	cluster.Heal()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cluster.Replica(3).InPrimary() {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !cluster.Replica(3).InPrimary() {
+		log.Fatal("replica 3 never rejoined")
+	}
+	fmt.Printf("    replica 3 back in the primary component\n")
+
+	step("restarting crashed replica 4: state transfer brings it up to date")
+	if err := cluster.Restart(4); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Replica(4).WaitForView(5, 20*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.WaitConverged(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    replica 4 rejoined; its ledger = %d\n", ledger(cluster.Replica(4)))
+
+	step("full strength: replica 4 commits again")
+	if err := add(cluster.Replica(4)); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.WaitConverged(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    final ledger on every replica: %d %d %d %d %d\n",
+		ledger(cluster.Replica(0)), ledger(cluster.Replica(1)), ledger(cluster.Replica(2)),
+		ledger(cluster.Replica(3)), ledger(cluster.Replica(4)))
+}

@@ -1,0 +1,3 @@
+module github.com/alcstm/alc
+
+go 1.24

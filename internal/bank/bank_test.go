@@ -1,0 +1,119 @@
+package bank
+
+import (
+	"testing"
+
+	"github.com/alcstm/alc/internal/stm"
+)
+
+func newSeededStore(t *testing.T, w *Workload) *stm.Store {
+	t.Helper()
+	s := stm.NewStore()
+	for id, v := range w.Seed() {
+		if _, err := s.CreateBox(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSeedShape(t *testing.T) {
+	w := New(4, NoConflict)
+	seed := w.Seed()
+	if len(seed) != 8 {
+		t.Fatalf("seed has %d accounts, want 8 (numReplicas*2)", len(seed))
+	}
+	if w.TotalBalance() != 8*InitialBalance {
+		t.Fatalf("TotalBalance = %d", w.TotalBalance())
+	}
+}
+
+func TestNoConflictFragmentsDisjoint(t *testing.T) {
+	w := New(4, NoConflict)
+	seen := make(map[string]int)
+	for r := 0; r < 4; r++ {
+		a, b := w.accounts(r)
+		if a == b {
+			t.Fatalf("replica %d got identical accounts", r)
+		}
+		seen[a]++
+		seen[b]++
+	}
+	for acct, n := range seen {
+		if n != 1 {
+			t.Fatalf("account %s shared by %d replicas in no-conflict mode", acct, n)
+		}
+	}
+}
+
+func TestHighConflictSharedAccounts(t *testing.T) {
+	w := New(4, HighConflict)
+	a0, b0 := w.accounts(0)
+	for r := 1; r < 4; r++ {
+		a, b := w.accounts(r)
+		if a != a0 || b != b0 {
+			t.Fatalf("replica %d uses %s/%s, want shared %s/%s", r, a, b, a0, b0)
+		}
+	}
+}
+
+func TestTransferConservesMoney(t *testing.T) {
+	w := New(2, NoConflict)
+	s := newSeededStore(t, w)
+
+	for round := 0; round < 10; round++ {
+		for r := 0; r < 2; r++ {
+			tx := s.Begin(false)
+			if err := w.Transfer(r, round)(tx); err != nil {
+				t.Fatalf("transfer: %v", err)
+			}
+			if err := tx.Commit(stm.TxnID{Replica: 1, Seq: uint64(round*2 + r + 1)}); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+		}
+	}
+
+	check := s.Begin(true)
+	defer check.Abort()
+	if err := w.CheckInvariant(check); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferDirectionAlternates(t *testing.T) {
+	w := New(1, NoConflict)
+	s := newSeededStore(t, w)
+
+	run := func(round int) {
+		tx := s.Begin(false)
+		if err := w.Transfer(0, round)(tx); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(stm.TxnID{Replica: 1, Seq: uint64(round + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(0)
+	run(1)
+
+	tx := s.Begin(true)
+	defer tx.Abort()
+	v0, _ := tx.Read(AccountID(0))
+	v1, _ := tx.Read(AccountID(1))
+	if v0 != InitialBalance || v1 != InitialBalance {
+		t.Fatalf("alternating transfers should cancel: got %v/%v", v0, v1)
+	}
+}
+
+func TestCheckInvariantDetectsCorruption(t *testing.T) {
+	w := New(2, NoConflict)
+	s := newSeededStore(t, w)
+	s.ApplyWriteSet(stm.TxnID{Replica: 9, Seq: 1},
+		stm.WriteSet{{Box: AccountID(0), Value: InitialBalance + 1}})
+
+	tx := s.Begin(true)
+	defer tx.Abort()
+	if err := w.CheckInvariant(tx); err == nil {
+		t.Fatal("CheckInvariant missed a corrupted balance")
+	}
+}

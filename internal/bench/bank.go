@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/alcstm/alc/internal/bank"
+	"github.com/alcstm/alc/internal/cluster"
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/stm"
+)
+
+// BankConfig parametrizes the Figure 3 experiments.
+type BankConfig struct {
+	Mode bank.Mode
+	// Threads is the number of application threads per replica. The paper's
+	// degree of concurrency equals the number of replicas, i.e. one thread
+	// per replica; more threads add intra-replica contention.
+	Threads int
+	// Duration is the measured interval per cell.
+	Duration time.Duration
+	// Warmup precedes measurement (lease establishment, JIT-free in Go but
+	// queues fill).
+	Warmup time.Duration
+	// ABCeiling overrides the calibrated sequencer pacing: 0 keeps
+	// DefaultOrderInterval, negative disables the cap (native AB).
+	ABCeiling time.Duration
+}
+
+func (c *BankConfig) fillDefaults() {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 200 * time.Millisecond
+	}
+}
+
+// RunBank measures one Figure 3 cell: the bank workload on a fresh cluster.
+func RunBank(p Params, cfg BankConfig) (Throughput, error) {
+	cfg.fillDefaults()
+	w := bank.New(p.Replicas, cfg.Mode)
+	c, err := NewCluster(p, w.Seed())
+	if err != nil {
+		return Throughput{}, err
+	}
+	defer c.Close()
+
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+		errs = make(chan error, p.Replicas*cfg.Threads)
+	)
+	for i, r := range c.Replicas() {
+		for th := 0; th < cfg.Threads; th++ {
+			wg.Add(1)
+			go func(i int, r *core.Replica) {
+				defer wg.Done()
+				for round := 0; ; round++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := r.Atomic(w.Transfer(i, round)); err != nil {
+						errs <- fmt.Errorf("replica %d: %w", i, err)
+						return
+					}
+				}
+			}(i, r)
+		}
+	}
+
+	time.Sleep(cfg.Warmup)
+	before := snapshotCounts(c)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	after := snapshotCounts(c)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return Throughput{}, err
+	}
+
+	// Verify the money-conservation invariant on every replica.
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		return Throughput{}, err
+	}
+	for _, r := range c.Replicas() {
+		if err := r.AtomicRO(func(tx *stm.Txn) error { return w.CheckInvariant(tx) }); err != nil {
+			return Throughput{}, err
+		}
+	}
+
+	out := summarize(p, c, elapsed)
+	out.Commits = after.commits - before.commits
+	out.Aborts = after.aborts - before.aborts
+	out.CommitsPerSec = float64(out.Commits) / elapsed.Seconds()
+	if out.Commits+out.Aborts > 0 {
+		out.AbortRate = float64(out.Aborts) / float64(out.Commits+out.Aborts)
+	}
+	return out, nil
+}
+
+type counts struct {
+	commits, aborts int64
+}
+
+func snapshotCounts(c *cluster.Cluster) counts {
+	var out counts
+	for _, r := range c.Replicas() {
+		s := r.Stats()
+		out.commits += s.Commits
+		out.aborts += s.Aborts
+	}
+	return out
+}
+
+// Fig3Row is one row of Figure 3: both protocols at one cluster size.
+type Fig3Row struct {
+	Replicas int
+	ALC      Throughput
+	Cert     Throughput
+}
+
+// SpeedupALC returns ALC throughput over CERT throughput.
+func (r Fig3Row) SpeedupALC() float64 {
+	if r.Cert.CommitsPerSec == 0 {
+		return 0
+	}
+	return r.ALC.CommitsPerSec / r.Cert.CommitsPerSec
+}
+
+// RunFig3 sweeps cluster sizes for one bank mode, producing Figure 3(a)
+// (NoConflict) or Figure 3(b) (HighConflict).
+func RunFig3(replicaCounts []int, mode bank.Mode, cfg BankConfig) ([]Fig3Row, error) {
+	rows := make([]Fig3Row, 0, len(replicaCounts))
+	for _, n := range replicaCounts {
+		alcParams := Params{Protocol: core.ProtocolALC, Replicas: n, PiggybackCert: true}
+		certParams := Params{Protocol: core.ProtocolCert, Replicas: n}
+		applyCeiling(&alcParams, cfg.ABCeiling)
+		applyCeiling(&certParams, cfg.ABCeiling)
+		alc, err := RunBank(alcParams, BankConfig{
+			Mode: mode, Threads: cfg.Threads, Duration: cfg.Duration, Warmup: cfg.Warmup,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig3 ALC n=%d: %w", n, err)
+		}
+		cert, err := RunBank(certParams, BankConfig{
+			Mode: mode, Threads: cfg.Threads, Duration: cfg.Duration, Warmup: cfg.Warmup,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig3 CERT n=%d: %w", n, err)
+		}
+		rows = append(rows, Fig3Row{Replicas: n, ALC: alc, Cert: cert})
+	}
+	return rows, nil
+}
+
+// applyCeiling maps a harness-level AB-ceiling override onto Params:
+// 0 keeps the calibrated default, negative uncaps the sequencer.
+func applyCeiling(p *Params, ceiling time.Duration) {
+	switch {
+	case ceiling < 0:
+		p.UncappedAB = true
+	case ceiling > 0:
+		p.OrderInterval = ceiling
+	}
+}

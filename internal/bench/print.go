@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// PrintFig3 renders a Figure 3 sweep as the paper's series: throughput per
+// protocol per cluster size (plus abort rates, reported in Figure 3(b)).
+func PrintFig3(w io.Writer, title string, rows []Fig3Row) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "replicas\tALC commits/s\tCERT commits/s\tALC/CERT\tALC abort%\tCERT abort%")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.1fx\t%.1f%%\t%.1f%%\n",
+			r.Replicas,
+			r.ALC.CommitsPerSec, r.Cert.CommitsPerSec, r.SpeedupALC(),
+			100*r.ALC.AbortRate, 100*r.Cert.AbortRate)
+	}
+	_ = tw.Flush()
+}
+
+// PrintFig4 renders a Figure 4 sweep: speed-up and abort rates.
+func PrintFig4(w io.Writer, title string, rows []Fig4Row) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "replicas\tALC time\tCERT time\tspeed-up\tALC abort%\tCERT abort%\tALC ≤1-abort%\trouted")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%.1fx\t%.1f%%\t%.1f%%\t%.1f%%\t%d/%d\n",
+			r.Replicas,
+			r.ALC.Elapsed.Round(1e6), r.Cert.Elapsed.Round(1e6), r.Speedup(),
+			100*r.ALC.AbortRate, 100*r.Cert.AbortRate,
+			100*r.ALC.AtMostOnce,
+			r.ALC.Routed, r.ALC.Routed+r.ALC.Failed)
+	}
+	_ = tw.Flush()
+}
+
+// PrintLatency renders the §4.5 commit-latency decomposition.
+func PrintLatency(w io.Writer, title string, rows []LatencyRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tsteps\tcommits\tmean\tp50\tp99")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%v\t%v\t%v\n",
+			r.Scenario, r.Steps, r.Commits,
+			r.Mean.Round(1e3), r.P50.Round(1e3), r.P99.Round(1e3))
+	}
+	_ = tw.Flush()
+}
+
+// PrintAblation renders an ablation sweep.
+func PrintAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tcommits/s\tabort%\tmean commit\textra")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.1f%%\t%v\t%s\n",
+			r.Variant, r.Result.CommitsPerSec, 100*r.Result.AbortRate,
+			r.Result.MeanCommitLatency.Round(1e3), r.Extra)
+	}
+	_ = tw.Flush()
+}

@@ -1,0 +1,166 @@
+// Package bloom implements the Bloom filter that the CERT baseline (D2STM,
+// Couceiro et al. 2009) uses to encode transaction read-sets before atomic
+// broadcast. Encoding the read-set as a Bloom filter shrinks the broadcast
+// payload at the price of a small, tunable probability of spurious aborts
+// (false positives during certification).
+//
+// The filter uses the standard double-hashing scheme (Kirsch & Mitzenmacher):
+// k index functions derived from two 64-bit FNV-1a halves, so membership
+// tests cost two hash evaluations regardless of k.
+package bloom
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a fixed-size Bloom filter over strings. The zero value is not
+// usable; construct with New or NewWithFPRate.
+type Filter struct {
+	bits   []uint64
+	m      uint64 // number of bits
+	k      uint32 // number of hash functions
+	nAdded int
+}
+
+// New creates a filter with m bits and k hash functions. m is rounded up to
+// a multiple of 64. k and m are clamped to at least 1.
+func New(m uint64, k uint32) *Filter {
+	if m == 0 {
+		m = 64
+	}
+	if k == 0 {
+		k = 1
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}
+}
+
+// NewWithFPRate creates a filter sized for the expected number of entries n
+// and target false-positive probability p, using the optimal
+// m = -n·ln(p)/ln(2)² and k = (m/n)·ln(2).
+func NewWithFPRate(n int, p float64) *Filter {
+	if n <= 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := uint32(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// hashes returns the two base hashes for the double-hashing scheme.
+func hashes(s string) (uint64, uint64) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	h1 := h.Sum64()
+	// Derive a second independent hash by re-hashing with a salt byte.
+	h.Reset()
+	_, _ = h.Write([]byte{0xA5})
+	_, _ = h.Write([]byte(s))
+	h2 := h.Sum64() | 1 // odd so the stride visits all positions
+	return h1, h2
+}
+
+// Add inserts s into the filter.
+func (f *Filter) Add(s string) {
+	h1, h2 := hashes(s)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.nAdded++
+}
+
+// AddAll inserts every string in the slice.
+func (f *Filter) AddAll(ss []string) {
+	for _, s := range ss {
+		f.Add(s)
+	}
+}
+
+// Contains reports whether s may be in the set. False positives are possible;
+// false negatives are not.
+func (f *Filter) Contains(s string) bool {
+	h1, h2 := hashes(s)
+	for i := uint32(0); i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.m
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of Add calls.
+func (f *Filter) Len() int { return f.nAdded }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() uint32 { return f.k }
+
+// SizeBytes returns the wire size of the filter's bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// EstimatedFPRate estimates the current false-positive probability given the
+// number of added entries: (1 - e^(-k·n/m))^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.nAdded == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.nAdded) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// Marshal serializes the filter into a compact byte payload.
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 16+len(f.bits)*8)
+	putU64(out[0:], f.m)
+	putU64(out[8:], uint64(f.k)<<32|uint64(uint32(f.nAdded)))
+	for i, w := range f.bits {
+		putU64(out[16+i*8:], w)
+	}
+	return out
+}
+
+// Unmarshal reconstructs a filter serialized by Marshal.
+func Unmarshal(data []byte) (*Filter, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("bloom: short payload (%d bytes)", len(data))
+	}
+	m := getU64(data[0:])
+	meta := getU64(data[8:])
+	k := uint32(meta >> 32)
+	n := int(uint32(meta))
+	words := (m + 63) / 64
+	if uint64(len(data)-16) != words*8 {
+		return nil, fmt.Errorf("bloom: payload size %d does not match m=%d", len(data), m)
+	}
+	f := &Filter{bits: make([]uint64, words), m: words * 64, k: k, nAdded: n}
+	for i := range f.bits {
+		f.bits[i] = getU64(data[16+i*8:])
+	}
+	return f, nil
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithFPRate(100, 0.01)
+	for i := 0; i < 100; i++ {
+		f.Add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		if !f.Contains(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFPRateNearTarget(t *testing.T) {
+	const n, target = 1000, 0.01
+	f := NewWithFPRate(n, target)
+	for i := 0; i < n; i++ {
+		f.Add(fmt.Sprintf("member-%d", i))
+	}
+
+	falsePositives := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("non-member-%d", i)) {
+			falsePositives++
+		}
+	}
+	rate := float64(falsePositives) / probes
+	if rate > target*3 {
+		t.Fatalf("observed FP rate %.4f, want <= %.4f", rate, target*3)
+	}
+}
+
+func TestEstimatedFPRateMonotone(t *testing.T) {
+	f := New(1024, 4)
+	if got := f.EstimatedFPRate(); got != 0 {
+		t.Fatalf("empty filter FP estimate = %v, want 0", got)
+	}
+	prev := 0.0
+	for i := 0; i < 200; i++ {
+		f.Add(fmt.Sprintf("x%d", i))
+		est := f.EstimatedFPRate()
+		if est < prev {
+			t.Fatalf("FP estimate decreased: %v -> %v after %d adds", prev, est, i+1)
+		}
+		prev = est
+	}
+}
+
+func TestSmallAndDegenerateParameters(t *testing.T) {
+	tests := []struct {
+		name string
+		f    *Filter
+	}{
+		{"zero m", New(0, 3)},
+		{"zero k", New(128, 0)},
+		{"fp defaults", NewWithFPRate(0, 2.0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tt.f.Add("a")
+			if !tt.f.Contains("a") {
+				t.Fatal("false negative on degenerate filter")
+			}
+			if tt.f.Bits() == 0 || tt.f.K() == 0 {
+				t.Fatalf("Bits=%d K=%d, want both nonzero", tt.f.Bits(), tt.f.K())
+			}
+		})
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewWithFPRate(50, 0.02)
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	f.AddAll(keys)
+
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if g.Bits() != f.Bits() || g.K() != f.K() || g.Len() != f.Len() {
+		t.Fatalf("metadata mismatch: got (%d,%d,%d), want (%d,%d,%d)",
+			g.Bits(), g.K(), g.Len(), f.Bits(), f.K(), f.Len())
+	}
+	for _, k := range keys {
+		if !g.Contains(k) {
+			t.Fatalf("unmarshaled filter missing %q", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadPayloads(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("Unmarshal(nil) succeeded")
+	}
+	if _, err := Unmarshal(make([]byte, 17)); err == nil {
+		t.Fatal("Unmarshal(odd size) succeeded")
+	}
+}
+
+// Property: anything added is contained (no false negatives), for arbitrary
+// strings and filter shapes.
+func TestQuickMembership(t *testing.T) {
+	f := func(keys []string, mRaw uint16, kRaw uint8) bool {
+		fl := New(uint64(mRaw), uint32(kRaw%8))
+		for _, k := range keys {
+			fl.Add(k)
+		}
+		for _, k := range keys {
+			if !fl.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: marshal/unmarshal preserves membership answers for arbitrary
+// probe sets.
+func TestQuickMarshalFidelity(t *testing.T) {
+	f := func(members, probes []string) bool {
+		fl := NewWithFPRate(len(members)+1, 0.05)
+		fl.AddAll(members)
+		g, err := Unmarshal(fl.Marshal())
+		if err != nil {
+			return false
+		}
+		for _, p := range probes {
+			if fl.Contains(p) != g.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

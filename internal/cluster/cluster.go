@@ -1,0 +1,345 @@
+// Package cluster assembles multi-replica deployments of the replicated STM
+// over the simulated in-process network: construction, seeding, startup
+// synchronization, failure injection (crashes, partitions), recovery with
+// state transfer, and convergence checks. It is the harness under the public
+// API, the integration tests, and the experiment suite.
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/gcs"
+	"github.com/alcstm/alc/internal/memnet"
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Config parametrizes a cluster.
+type Config struct {
+	// N is the number of replicas.
+	N int
+	// Core configures the replication protocol on every replica.
+	Core core.Config
+	// Net configures the simulated network.
+	Net memnet.Config
+	// GCS overrides group-communication timing (Members is set internally).
+	GCS gcs.Config
+	// Seed pre-populates every replica's store identically.
+	Seed map[string]stm.Value
+	// StartTimeout bounds waiting for the initial view. Default 10s.
+	StartTimeout time.Duration
+}
+
+// Cluster is a running set of replicas over one simulated network. All
+// methods are safe for concurrent use (failure injection may race with
+// application threads, as in the chaos tests).
+type Cluster struct {
+	cfg Config
+	net *memnet.Network
+	ids []transport.ID
+
+	mu       sync.RWMutex
+	replicas []*core.Replica
+}
+
+// New builds and starts a cluster, blocking until every replica has
+// installed the initial full view.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("cluster: invalid size %d", cfg.N)
+	}
+	if cfg.StartTimeout <= 0 {
+		cfg.StartTimeout = 10 * time.Second
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		net:      memnet.New(cfg.Net),
+		replicas: make([]*core.Replica, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.ids = append(c.ids, transport.ID(i))
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		r, err := c.startReplica(i, false)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.replicas[i] = r
+	}
+	for i, r := range c.replicas {
+		if err := r.WaitForView(cfg.N, cfg.StartTimeout); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) startReplica(i int, joining bool) (*core.Replica, error) {
+	tr, err := c.net.Endpoint(transport.ID(i))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: endpoint %d: %w", i, err)
+	}
+	gcsCfg := c.cfg.GCS
+	gcsCfg.Members = c.ids
+	gcsCfg.Joining = joining
+	gcsCfg.AutoRejoin = true
+	r, err := core.NewReplica(tr, c.cfg.Core, gcsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+	}
+	if !joining && c.cfg.Seed != nil {
+		if err := r.Seed(c.cfg.Seed); err != nil {
+			_ = r.Close()
+			return nil, fmt.Errorf("cluster: seed replica %d: %w", i, err)
+		}
+	}
+	return r, nil
+}
+
+// N returns the number of replica slots.
+func (c *Cluster) N() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.replicas)
+}
+
+// Replica returns replica i (nil if crashed and not restarted).
+func (c *Cluster) Replica(i int) *core.Replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.replicas[i]
+}
+
+// Replicas returns all live replicas.
+func (c *Cluster) Replicas() []*core.Replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*core.Replica, 0, len(c.replicas))
+	for _, r := range c.replicas {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Crash fail-stops replica i: its process halts and its messages are lost.
+func (c *Cluster) Crash(i int) {
+	c.mu.Lock()
+	r := c.replicas[i]
+	c.replicas[i] = nil
+	c.mu.Unlock()
+	if r != nil {
+		c.net.Crash(transport.ID(i))
+		_ = r.Close()
+	}
+}
+
+// Restart brings a crashed replica back as a joiner: it rejoins the primary
+// component through the group's state transfer (no seeding).
+func (c *Cluster) Restart(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replicas[i] != nil {
+		return fmt.Errorf("cluster: replica %d is running", i)
+	}
+	r, err := c.startReplica(i, true)
+	if err != nil {
+		return err
+	}
+	c.replicas[i] = r
+	return nil
+}
+
+// Partition splits the network into isolated groups of replica indices.
+func (c *Cluster) Partition(groups ...[]int) {
+	idGroups := make([][]transport.ID, len(groups))
+	for i, g := range groups {
+		for _, idx := range g {
+			idGroups[i] = append(idGroups[i], transport.ID(idx))
+		}
+	}
+	c.net.Partition(idGroups...)
+}
+
+// Heal removes all partitions.
+func (c *Cluster) Heal() { c.net.Heal() }
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	reps := make([]*core.Replica, len(c.replicas))
+	copy(reps, c.replicas)
+	for i := range c.replicas {
+		c.replicas[i] = nil
+	}
+	c.mu.Unlock()
+	for _, r := range reps {
+		if r != nil {
+			_ = r.Close()
+		}
+	}
+	c.net.Close()
+}
+
+// WaitConverged blocks until every live replica's store snapshot is
+// identical (same boxes, same latest values and writers), or the timeout
+// expires. Stores converge once the cluster is quiescent: every committed
+// write-set is uniformly delivered.
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if diff := c.divergence(); diff == "" {
+			return nil
+		} else if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: stores did not converge within %v: %s", timeout, diff)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// divergence returns a description of the first store mismatch, or "".
+func (c *Cluster) divergence() string {
+	live := c.Replicas()
+	if len(live) < 2 {
+		return ""
+	}
+	ref := live[0].Store().Snapshot()
+	for _, r := range live[1:] {
+		snap := r.Store().Snapshot()
+		if len(snap.Boxes) != len(ref.Boxes) {
+			return fmt.Sprintf("replica %d has %d boxes, replica %d has %d",
+				live[0].ID(), len(ref.Boxes), r.ID(), len(snap.Boxes))
+		}
+		for i := range ref.Boxes {
+			a, b := ref.Boxes[i], snap.Boxes[i]
+			// DeepEqual: box values may hold slices or maps (immutable by
+			// contract but not comparable with ==).
+			if a.Box != b.Box || a.Writer != b.Writer || !reflect.DeepEqual(a.Value, b.Value) {
+				return fmt.Sprintf("box %q: replica %d has %v(%v), replica %d has %v(%v)",
+					a.Box, live[0].ID(), a.Value, a.Writer, r.ID(), b.Value, b.Writer)
+			}
+		}
+	}
+	return ""
+}
+
+// TotalStats aggregates protocol counters across live replicas.
+func (c *Cluster) TotalStats() core.Stats {
+	var out core.Stats
+	for _, r := range c.Replicas() {
+		s := r.Stats()
+		out.Commits += s.Commits
+		out.Aborts += s.Aborts
+		out.ReadOnly += s.ReadOnly
+		out.Lease.Requested += s.Lease.Requested
+		out.Lease.Reused += s.Lease.Reused
+		out.Lease.Freed += s.Lease.Freed
+		out.Lease.Deadlocks += s.Lease.Deadlocks
+	}
+	return out
+}
+
+// CheckHistories verifies the per-box write-order witness of 1-copy
+// serializability: for every box, the sequences of writer transactions at
+// any two live replicas must agree on their common suffix (version GC and
+// state transfer both truncate history from the old end, so prefixes may
+// legitimately differ in length — but any order divergence in what both
+// replicas retain is a serializability violation). Returns a description of
+// the first divergence, or "" when all histories agree. The cluster must be
+// quiescent.
+func (c *Cluster) CheckHistories() string {
+	live := c.Replicas()
+	if len(live) < 2 {
+		return ""
+	}
+	ref := live[0]
+	snap := ref.Store().Snapshot()
+	for _, bs := range snap.Boxes {
+		want := ref.Store().VersionWriters(bs.Box)
+		for _, r := range live[1:] {
+			got := r.Store().VersionWriters(bs.Box)
+			n := len(want)
+			if len(got) < n {
+				n = len(got)
+			}
+			a, b := want[len(want)-n:], got[len(got)-n:]
+			for i := range a {
+				if a[i] != b[i] {
+					return fmt.Sprintf("box %q: suffix version %d written by %v at replica %d but %v at replica %d",
+						bs.Box, i, a[i], ref.ID(), b[i], r.ID())
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// Preferred returns the live replica that should execute a transaction over
+// the given data items for maximal lease locality. It implements the
+// locality-aware load-balancing direction of the paper's §6 (future work):
+// routing every transaction on a data set to a deterministic owner replica
+// keeps the corresponding leases resident there, turning lease rotation
+// (one atomic broadcast + release per commit) into lease reuse (zero
+// communication until the write-set broadcast).
+//
+// The mapping uses rendezvous (highest-random-weight) hashing over the live
+// replicas, keyed by the smallest item hash, so it stays stable when
+// replicas crash or rejoin and distributes unrelated data sets evenly.
+func (c *Cluster) Preferred(items []string) *core.Replica {
+	live := c.Replicas()
+	if len(live) == 0 {
+		return nil
+	}
+	// Canonical key: the minimum item hash, so any overlap-heavy family of
+	// data sets that shares its hottest item maps to one owner.
+	var key uint64
+	for i, it := range items {
+		h := fnv64(it)
+		if i == 0 || h < key {
+			key = h
+		}
+	}
+	var (
+		best  *core.Replica
+		bestW uint64
+	)
+	for _, r := range live {
+		w := mix64(key ^ (uint64(r.ID()) + 0x9e3779b97f4a7c15))
+		if best == nil || w > bestW {
+			best, bestW = r, w
+		}
+	}
+	return best
+}
+
+// fnv64 hashes a string (FNV-1a).
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// mix64 is a 64-bit finalizer (splitmix64) giving rendezvous weights.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/stm"
+)
+
+// DebugAbortCounters breaks aborts down by cause (diagnostics only).
+var DebugAbortCounters struct {
+	Early, Final, Payload, Deadlock atomic.Int64
+}
+
+// Atomic executes fn as a transaction and commits it through the configured
+// replication protocol, transparently re-executing it on certification
+// conflicts. fn may be invoked multiple times and must be idempotent apart
+// from its transactional reads and writes. A non-nil error from fn aborts
+// the transaction and is returned verbatim.
+func (r *Replica) Atomic(fn func(*stm.Txn) error) error {
+	switch r.cfg.Protocol {
+	case ProtocolCert:
+		return r.atomicCert(fn)
+	default:
+		return r.atomicALC(fn)
+	}
+}
+
+// AtomicRO executes fn as a read-only transaction: abort-free, wait-free,
+// and — because the multi-version store always serves a consistent snapshot
+// — serializable, even on a replica outside the primary component (§3: an
+// ejected replica keeps serving read-only transactions on a possibly stale
+// snapshot).
+func (r *Replica) AtomicRO(fn func(*stm.Txn) error) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	txn := r.store.Begin(true)
+	defer txn.Abort()
+	if err := fn(txn); err != nil {
+		return err
+	}
+	r.nReadOnly.Inc()
+	return nil
+}
+
+// atomicALC is the paper's Algorithm 1 commit path plus the retry driver:
+//
+//	run fn; read-only commits locally
+//	early validation (cheap local pre-abort)
+//	establish the lease: reuse a held one (zero messages), replace it if the
+//	  re-execution changed its data-set (§4.4 piggybacked release), or
+//	  acquire it (one OAB; with PiggybackCert the read/write-set rides along
+//	  and certification completes at lease establishment — §4.5(c))
+//	final validation; failure re-executes WHILE HOLDING the lease, which
+//	  shelters the transaction from further remote conflicts
+//	UR-broadcast the write-set and wait for the self-delivery (uniformity)
+func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
+	// escalateAfter is the §4.4 fallback threshold: a transaction whose
+	// data-set keeps drifting across this many re-executions acquires a
+	// wildcard lease (the whole set of conflict classes), which
+	// deterministically bounds its aborts.
+	const escalateAfter = 3
+
+	var (
+		held     lease.RequestID
+		holding  bool
+		wildcard bool
+		aborts   int
+		// accum accumulates every data item accessed across re-executions:
+		// leases are taken over the union, so a transaction whose data-set
+		// drifts between attempts (§4.4) regains full shelter after one
+		// lease replacement instead of chasing its own read-set forever.
+		accum map[string]struct{}
+	)
+	releaseHeld := func() {
+		if holding {
+			r.lm.Finished(held)
+			holding = false
+		}
+	}
+	defer releaseHeld()
+
+	for {
+		if r.stopped.Load() {
+			return ErrStopped
+		}
+		if !r.primary.Load() {
+			return ErrEjected
+		}
+		if r.cfg.MaxRetries > 0 && aborts > r.cfg.MaxRetries {
+			return ErrTooManyRetries
+		}
+
+		txn := r.store.Begin(false)
+		if err := fn(txn); err != nil {
+			txn.Abort()
+			return err
+		}
+		if !txn.IsUpdate() {
+			txn.Abort()
+			r.nReadOnly.Inc()
+			return nil
+		}
+
+		commitStart := time.Now()
+		rs, ws := txn.ReadSet(), txn.WriteSet()
+		items := dataSet(rs, ws)
+		if accum != nil {
+			// A re-execution: extend the accumulated access set.
+			for _, it := range items {
+				accum[it] = struct{}{}
+			}
+			if len(accum) > len(items) {
+				items = make([]string, 0, len(accum))
+				for it := range accum {
+					items = append(items, it)
+				}
+			}
+		}
+
+		// Early validation (first attempt only): a transaction already
+		// known stale needs no broadcast before retrying. It must NOT be
+		// repeated on later attempts — under churn, a long transaction
+		// would fail it forever and never reach the lease acquisition that
+		// shelters it; acquiring the lease despite known-stale reads is
+		// exactly how ALC bounds re-executions (§4: the transaction is
+		// "re-executed without releasing the lease").
+		if aborts == 0 && !holding && !txn.Validate() {
+			txn.Abort()
+			r.nAborts.Inc()
+			DebugAbortCounters.Early.Add(1)
+			aborts++
+			accum = accumulate(accum, items)
+			continue
+		}
+
+		// §4.4 escalation: repeated re-executions with unstable data-sets
+		// fall back to a lease on everything.
+		if aborts >= escalateAfter && !wildcard {
+			var old lease.RequestID
+			if holding {
+				if r.lm.ActiveCount(held) == 1 {
+					old = held
+				} else {
+					r.lm.Finished(held)
+				}
+				holding = false
+			}
+			id, err := r.lm.GetLeaseEverything(old)
+			if lerr := r.leaseErr(txn, err, &aborts); lerr != nil {
+				return lerr
+			}
+			if err != nil {
+				continue
+			}
+			held, holding, wildcard = id, true, true
+		}
+
+		// Lease establishment.
+		if holding && !r.lm.Covers(held, items) {
+			// The re-execution changed its conflict classes (§4.4).
+			if r.lm.ActiveCount(held) == 1 {
+				id, err := r.lm.GetLeaseReplacing(items, held)
+				holding = false
+				if lerr := r.leaseErr(txn, err, &aborts); lerr != nil {
+					return lerr
+				}
+				if err != nil {
+					continue // deadlock victim: retry from scratch
+				}
+				held, holding = id, true
+			} else {
+				// Other transactions share the lease: release our
+				// association and acquire separately.
+				r.lm.Finished(held)
+				holding = false
+			}
+		}
+		if !holding {
+			// Lease retention fast path: an enabled request from an earlier
+			// transaction serves this one with zero communication.
+			if id, ok := r.lm.TryReuse(items); ok {
+				held, holding = id, true
+			} else if r.cfg.PiggybackCert && !r.lm.HasCoverage(items) {
+				done, err := r.commitPiggybacked(txn, rs, ws, items, &held, &holding, &aborts, commitStart)
+				if done {
+					releaseHeld()
+					return err
+				}
+				continue
+			}
+		}
+		if !holding {
+			id, err := r.lm.GetLease(items)
+			if lerr := r.leaseErr(txn, err, &aborts); lerr != nil {
+				return lerr
+			}
+			if err != nil {
+				continue
+			}
+			held, holding = id, true
+		}
+
+		// Final validation and write-set dissemination, serialized against
+		// intersecting in-flight local write-sets (two transactions sharing
+		// a lease must not both validate against the pre-apply state).
+		tid := r.nextTxnID()
+		r.certMu.Lock()
+		if !r.waitInFlightLocked(items) {
+			r.certMu.Unlock()
+			txn.Abort()
+			return ErrEjected
+		}
+		if !txn.Validate() {
+			r.certMu.Unlock()
+			txn.Abort()
+			r.nAborts.Inc()
+			DebugAbortCounters.Final.Add(1)
+			aborts++
+			accum = accumulate(accum, items)
+			continue // re-execute holding the lease: no further remote aborts
+		}
+		ch := r.registerWaiter(tid)
+		r.addInFlightLocked(ws)
+		err := r.gcsEP.URBroadcast(&applyWSMsg{TxnID: tid, LeaseID: held, WS: ws})
+		r.certMu.Unlock()
+		if err != nil {
+			r.removeInFlight(ws)
+			r.dropWaiter(tid)
+			txn.Abort()
+			return ErrEjected
+		}
+
+		if err := <-ch; err != nil {
+			txn.Abort()
+			return err
+		}
+		txn.Finish()
+		r.nCommits.Inc()
+		r.retries.Observe(aborts)
+		r.latency.Observe(time.Since(commitStart))
+		return nil
+	}
+}
+
+// commitPiggybacked runs the §4.5(c) flow: the read/write-set travel on the
+// lease request and every replica certifies at lease establishment. Returns
+// done=true when the transaction committed or failed terminally; done=false
+// when it must re-execute (now holding the lease).
+func (r *Replica) commitPiggybacked(
+	txn *stm.Txn,
+	rs stm.ReadSet,
+	ws stm.WriteSet,
+	items []string,
+	held *lease.RequestID,
+	holding *bool,
+	aborts *int,
+	commitStart time.Time,
+) (bool, error) {
+	tid := r.nextTxnID()
+	ch := r.registerWaiter(tid)
+	id, err := r.lm.GetLeaseWithPayload(items, &certPayload{TxnID: tid, RS: rs, WS: ws})
+	if err != nil {
+		r.dropWaiter(tid)
+		if lerr := r.leaseErr(txn, err, aborts); lerr != nil {
+			return true, lerr
+		}
+		return false, nil // deadlock victim: retry
+	}
+	*held, *holding = id, true
+
+	switch err := <-ch; {
+	case err == nil:
+		txn.Finish()
+		r.nCommits.Inc()
+		r.retries.Observe(*aborts)
+		r.latency.Observe(time.Since(commitStart))
+		return true, nil
+	case errors.Is(err, errValidationFailed):
+		txn.Abort()
+		r.nAborts.Inc()
+		DebugAbortCounters.Payload.Add(1)
+		*aborts++
+		return false, nil // re-execute holding the lease
+	default:
+		txn.Abort()
+		return true, err
+	}
+}
+
+// leaseErr classifies a lease acquisition error: terminal errors are
+// returned, deadlock victims retry (nil result with err != nil at the call
+// site).
+func (r *Replica) leaseErr(txn *stm.Txn, err error, aborts *int) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, lease.ErrDeadlock):
+		txn.Abort()
+		r.nAborts.Inc()
+		DebugAbortCounters.Deadlock.Add(1)
+		*aborts++
+		return nil
+	case errors.Is(err, lease.ErrNotPrimary):
+		txn.Abort()
+		return ErrEjected
+	default:
+		txn.Abort()
+		return ErrStopped
+	}
+}
+
+// waitInFlightLocked blocks (releasing certMu while waiting) until no
+// in-flight local write-set intersects items. Returns false on ejection.
+func (r *Replica) waitInFlightLocked(items []string) bool {
+	for {
+		if !r.primary.Load() || r.stopped.Load() {
+			return false
+		}
+		conflict := false
+		for _, b := range items {
+			if r.inFlight[b] > 0 {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return true
+		}
+		r.certCond.Wait()
+	}
+}
+
+// accumulate records items into the cross-attempt access set.
+func accumulate(accum map[string]struct{}, items []string) map[string]struct{} {
+	if accum == nil {
+		accum = make(map[string]struct{}, 2*len(items))
+	}
+	for _, it := range items {
+		accum[it] = struct{}{}
+	}
+	return accum
+}
+
+// dataSet returns the union of the read- and write-set box IDs.
+func dataSet(rs stm.ReadSet, ws stm.WriteSet) []string {
+	seen := make(map[string]struct{}, len(rs)+len(ws))
+	out := make([]string, 0, len(rs)+len(ws))
+	for _, e := range rs {
+		if _, ok := seen[e.Box]; !ok {
+			seen[e.Box] = struct{}{}
+			out = append(out, e.Box)
+		}
+	}
+	for _, e := range ws {
+		if _, ok := seen[e.Box]; !ok {
+			seen[e.Box] = struct{}{}
+			out = append(out, e.Box)
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/alcstm/alc/internal/bloom"
+	"github.com/alcstm/alc/internal/stm"
+)
+
+// atomicCert is the CERT baseline (D2STM): optimistic local execution, then
+// one atomic broadcast of ⟨Bloom(read-set), write-set⟩ and a deterministic
+// validation at every replica in the total order. Unlike ALC, nothing
+// shelters a re-execution: the transaction can be aborted again and again by
+// remote conflicts (the behaviour Figure 3(b)/4(b) quantifies).
+func (r *Replica) atomicCert(fn func(*stm.Txn) error) error {
+	aborts := 0
+	for {
+		if r.stopped.Load() {
+			return ErrStopped
+		}
+		if !r.primary.Load() {
+			return ErrEjected
+		}
+		if r.cfg.MaxRetries > 0 && aborts > r.cfg.MaxRetries {
+			return ErrTooManyRetries
+		}
+
+		txn := r.store.Begin(false)
+		if err := fn(txn); err != nil {
+			txn.Abort()
+			return err
+		}
+		if !txn.IsUpdate() {
+			txn.Abort()
+			r.nReadOnly.Inc()
+			return nil
+		}
+
+		commitStart := time.Now()
+
+		// Early validation: cheap local pre-abort before paying for the AB.
+		if !txn.Validate() {
+			txn.Abort()
+			r.nAborts.Inc()
+			aborts++
+			continue
+		}
+
+		rs, ws := txn.ReadSet(), txn.WriteSet()
+		msg := &certMsg{
+			TxnID:       r.nextTxnID(),
+			SnapshotOrd: txn.Snapshot(),
+			WS:          ws,
+		}
+		if r.cfg.BloomFPRate > 0 {
+			f := bloom.NewWithFPRate(len(rs), r.cfg.BloomFPRate)
+			f.AddAll(rs.BoxIDs())
+			msg.RSBloom = f.Marshal()
+		} else {
+			msg.RSExact = rs.BoxIDs()
+		}
+
+		ch := r.registerWaiter(msg.TxnID)
+		if err := r.gcsEP.OABroadcast(msg); err != nil {
+			r.dropWaiter(msg.TxnID)
+			txn.Abort()
+			return ErrEjected
+		}
+
+		switch err := <-ch; {
+		case err == nil:
+			txn.Finish()
+			r.nCommits.Inc()
+			r.retries.Observe(aborts)
+			r.latency.Observe(time.Since(commitStart))
+			return nil
+		case errors.Is(err, errValidationFailed):
+			txn.Abort()
+			r.nAborts.Inc()
+			aborts++
+			// No shelter: the next execution races the cluster again.
+		default:
+			txn.Abort()
+			return err
+		}
+	}
+}
+
+// certApply is the deterministic certification step, executed at every
+// replica in TO-delivery order. Because all CERT commits advance the store
+// clock only here, commit timestamps are identical cluster-wide and the
+// snapshot comparison is replica-independent.
+func (r *Replica) certApply(m *certMsg) {
+	valid := r.certValidate(m)
+	if valid {
+		ts := r.store.ApplyWriteSet(m.TxnID, m.WS)
+		r.certLog.append(ts, m.WS.BoxIDs())
+		r.maybeGC()
+	}
+	if m.TxnID.Replica == r.id {
+		if valid {
+			r.resolveWaiter(m.TxnID, nil)
+		} else {
+			r.resolveWaiter(m.TxnID, errValidationFailed)
+		}
+	}
+}
+
+// certValidate checks the transaction's read-set against every write-set
+// committed after its snapshot. A snapshot older than the retained window
+// aborts conservatively (deterministically: the window is a shared
+// configuration and the clock is identical at every replica).
+func (r *Replica) certValidate(m *certMsg) bool {
+	clock := r.store.CommitTimestamp()
+	if m.SnapshotOrd > clock {
+		// A snapshot from the future would mean clock divergence.
+		return false
+	}
+	if clock-m.SnapshotOrd > int64(r.certLog.capacity()) {
+		return false
+	}
+	checker, err := m.checker()
+	if err != nil {
+		return false
+	}
+	return r.certLog.scan(m.SnapshotOrd+1, clock, func(box string) bool {
+		return !checker.contains(box)
+	})
+}
+
+// certLogEntry is the digest of one committed write-set: its commit
+// timestamp and the boxes it wrote.
+type certLogEntry struct {
+	TS    int64
+	Boxes []string
+}
+
+// certLog is a ring of recent write-set digests indexed by commit timestamp.
+type certLog struct {
+	ring []certLogEntry
+}
+
+func newCertLog(capacity int) *certLog {
+	return &certLog{ring: make([]certLogEntry, capacity)}
+}
+
+func (l *certLog) capacity() int { return len(l.ring) }
+
+func (l *certLog) append(ts int64, boxes []string) {
+	l.ring[ts%int64(len(l.ring))] = certLogEntry{TS: ts, Boxes: boxes}
+}
+
+// scan visits every box written at timestamps in [from, to]; it stops and
+// returns false as soon as keep returns false (conflict found) or an entry
+// is missing from the window.
+func (l *certLog) scan(from, to int64, keep func(box string) bool) bool {
+	for ts := from; ts <= to; ts++ {
+		e := l.ring[ts%int64(len(l.ring))]
+		if e.TS != ts {
+			return false // outside the retained window: abort conservatively
+		}
+		for _, b := range e.Boxes {
+			if !keep(b) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// snapshot exports the populated window (state transfer).
+func (l *certLog) snapshot() []certLogEntry {
+	out := make([]certLogEntry, 0, len(l.ring))
+	for _, e := range l.ring {
+		if e.TS != 0 || len(e.Boxes) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// restore imports a transferred window.
+func (l *certLog) restore(entries []certLogEntry) {
+	for i := range l.ring {
+		l.ring[i] = certLogEntry{}
+	}
+	for _, e := range entries {
+		l.ring[e.TS%int64(len(l.ring))] = e
+	}
+}

@@ -1,0 +1,348 @@
+// Package core implements the paper's primary contribution: the replication
+// managers that certify transactions cluster-wide.
+//
+// Two protocols are provided:
+//
+//   - ProtocolALC — Asynchronous Lease Certification (Algorithm 1 plus the
+//     §4.5 optimizations). A transaction executes locally; at commit time the
+//     replica establishes an asynchronous lease on the transaction's conflict
+//     classes (one OAB, skipped entirely when the lease is already held),
+//     validates locally, and disseminates only the write-set through a single
+//     causally ordered Uniform Reliable Broadcast. A transaction that fails
+//     validation re-executes while the lease is retained, so a remote
+//     conflict can abort it at most once.
+//
+//   - ProtocolCert — the D2STM-style certification baseline (CERT in §5): at
+//     commit time the transaction's Bloom-filter-encoded read-set and its
+//     write-set are atomically broadcast; every replica validates it
+//     deterministically in the total order and applies the write-set on
+//     success. No bound exists on the number of aborts.
+//
+// Both protocols sit on the same substrates: the multi-version STM
+// (internal/stm) and the view-synchronous GCS (internal/gcs).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/alcstm/alc/internal/gcs"
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/metrics"
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Protocol selects the replication scheme.
+type Protocol int
+
+const (
+	// ProtocolALC is Asynchronous Lease Certification (the paper's
+	// contribution).
+	ProtocolALC Protocol = iota + 1
+	// ProtocolCert is the atomic-broadcast certification baseline (D2STM).
+	ProtocolCert
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolALC:
+		return "ALC"
+	case ProtocolCert:
+		return "CERT"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Errors returned by Atomic.
+var (
+	// ErrEjected is returned when the replica has been excluded from the
+	// primary component: update transactions cannot commit (read-only
+	// transactions remain available).
+	ErrEjected = errors.New("core: replica ejected from primary component")
+	// ErrStopped is returned after Close.
+	ErrStopped = errors.New("core: replica stopped")
+	// ErrTooManyRetries is returned when a transaction exceeded the
+	// configured retry budget.
+	ErrTooManyRetries = errors.New("core: transaction exceeded retry budget")
+)
+
+// Config parametrizes a replica.
+type Config struct {
+	// Protocol selects ALC or CERT. Default: ALC.
+	Protocol Protocol
+	// Lease configures the lease manager (conflict-class granularity and
+	// the §4.5(b) optimistic-free / §4.4 deadlock-detection switches).
+	Lease lease.Config
+	// PiggybackCert enables the §4.5 optimization (c): when a lease must be
+	// acquired, the transaction's read- and write-set travel on the lease
+	// request itself and every replica certifies and applies it as soon as
+	// the lease is established — 3 communication steps total, no separate
+	// write-set broadcast.
+	PiggybackCert bool
+	// BloomFPRate is the target false-positive rate of the CERT read-set
+	// encoding (D2STM's tunable extra abort rate). Zero or negative sends
+	// exact read-sets.
+	BloomFPRate float64
+	// CertLogSize bounds CERT's retained validation window (committed
+	// write-set digests); transactions with older snapshots abort
+	// conservatively. Default 65536.
+	CertLogSize int
+	// MaxRetries bounds re-executions per transaction; 0 means unlimited.
+	MaxRetries int
+	// GCEvery prunes box version histories after every N applied
+	// write-sets (versions unreachable by any active snapshot are
+	// discarded). Zero selects the default of 4096; negative disables
+	// automatic GC (Store.GC can still be called manually).
+	GCEvery int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Protocol == 0 {
+		c.Protocol = ProtocolALC
+	}
+	if c.CertLogSize <= 0 {
+		c.CertLogSize = 65536
+	}
+	if c.GCEvery == 0 {
+		c.GCEvery = 4096
+	}
+}
+
+// Stats is a snapshot of a replica's protocol counters.
+type Stats struct {
+	Commits       int64
+	Aborts        int64 // certification/validation failures (before retry)
+	ReadOnly      int64
+	Lease         lease.Stats
+	RetriesPerTxn *metrics.IntDist // aborts suffered per committed txn
+	CommitLatency *metrics.Histogram
+}
+
+// AbortRate returns aborts / (aborts + commits).
+func (s Stats) AbortRate() float64 {
+	total := s.Aborts + s.Commits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// Replica is one process of the replicated STM: the composition of the local
+// multi-version STM, the GCS endpoint, the lease manager, and the
+// replication manager (this package).
+type Replica struct {
+	id    transport.ID
+	cfg   Config
+	store *stm.Store
+	gcsEP *gcs.Endpoint
+	lm    *lease.Manager
+
+	// Commit pipeline state: boxes written by local transactions whose
+	// write-sets are broadcast but not yet self-delivered. Local validation
+	// must not run while an intersecting write-set is in flight, or two
+	// transactions under the same lease could both validate against the
+	// pre-apply state (lost update).
+	certMu   sync.Mutex
+	certCond *sync.Cond
+	inFlight map[string]int
+
+	// Waiters for commit outcomes, keyed by transaction ID.
+	waitMu  sync.Mutex
+	waiters map[stm.TxnID]chan error
+
+	// CERT deterministic validation log.
+	certLog *certLog
+
+	txnSeq  atomic.Uint64
+	applies atomic.Int64 // applied write-sets since the last automatic GC
+	primary atomic.Bool
+	stopped atomic.Bool
+
+	viewMu   sync.Mutex
+	view     gcs.View
+	viewCond *sync.Cond
+
+	nCommits  metrics.Counter
+	nAborts   metrics.Counter
+	nReadOnly metrics.Counter
+	retries   *metrics.IntDist
+	latency   metrics.Histogram
+}
+
+// NewReplica wires a replica over the given transport. The GCS endpoint is
+// created internally; gcsCfg.Members defines the group.
+func NewReplica(tr transport.Transport, cfg Config, gcsCfg gcs.Config) (*Replica, error) {
+	cfg.fillDefaults()
+	r := &Replica{
+		id:       tr.Self(),
+		cfg:      cfg,
+		store:    stm.NewStore(),
+		inFlight: make(map[string]int),
+		waiters:  make(map[stm.TxnID]chan error),
+		certLog:  newCertLog(cfg.CertLogSize),
+		retries:  metrics.NewIntDist(),
+	}
+	r.certCond = sync.NewCond(&r.certMu)
+	r.viewCond = sync.NewCond(&r.viewMu)
+	r.primary.Store(!gcsCfg.Joining)
+
+	ep, err := gcs.NewEndpoint(tr, (*gcsHandler)(r), gcsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: gcs endpoint: %w", err)
+	}
+	r.gcsEP = ep
+	r.lm = lease.NewManager(r.id, ep, cfg.Lease)
+	if cfg.PiggybackCert {
+		r.lm.SetPayloadHandler(r.onEnabledPayload)
+	}
+	// Start the dispatcher only after the replica is fully wired: upcalls
+	// may fire immediately.
+	ep.Start()
+	return r, nil
+}
+
+// ID returns the replica's process ID.
+func (r *Replica) ID() transport.ID { return r.id }
+
+// Store exposes the local STM (for seeding and read-only access).
+func (r *Replica) Store() *stm.Store { return r.store }
+
+// LeaseManager exposes the lease manager (diagnostics).
+func (r *Replica) LeaseManager() *lease.Manager { return r.lm }
+
+// GCS exposes the group communication endpoint (diagnostics).
+func (r *Replica) GCS() *gcs.Endpoint { return r.gcsEP }
+
+// InPrimary reports whether the replica is in the primary component.
+func (r *Replica) InPrimary() bool { return r.primary.Load() }
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() Stats {
+	return Stats{
+		Commits:       r.nCommits.Value(),
+		Aborts:        r.nAborts.Value(),
+		ReadOnly:      r.nReadOnly.Value(),
+		Lease:         r.lm.Stats(),
+		RetriesPerTxn: r.retries,
+		CommitLatency: &r.latency,
+	}
+}
+
+// WaitForView blocks until a view with at least n members is installed
+// (startup synchronization for tests and benchmarks).
+func (r *Replica) WaitForView(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	r.viewMu.Lock()
+	defer r.viewMu.Unlock()
+	for len(r.view.Members) < n {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: view with %d members not installed within %v (have %v)",
+				n, timeout, r.view)
+		}
+		r.viewMu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		r.viewMu.Lock()
+	}
+	return nil
+}
+
+// Close shuts the replica down.
+func (r *Replica) Close() error {
+	if r.stopped.Swap(true) {
+		return nil
+	}
+	r.failAllWaiters(ErrStopped)
+	r.lm.Close()
+	return r.gcsEP.Close()
+}
+
+// Seed initializes boxes directly in the local store, before the replica
+// starts processing transactions. Every replica must be seeded identically.
+func (r *Replica) Seed(values map[string]stm.Value) error {
+	for id, v := range values {
+		if _, err := r.store.CreateBox(id, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nextTxnID allocates a cluster-unique transaction identifier.
+func (r *Replica) nextTxnID() stm.TxnID {
+	return stm.TxnID{Replica: r.id, Seq: r.txnSeq.Add(1)}
+}
+
+// maybeGC prunes version histories after every cfg.GCEvery applied
+// write-sets. Called on the dispatcher after each apply, so GC never races
+// a concurrent apply (readers are lock-free and unaffected).
+func (r *Replica) maybeGC() {
+	if r.cfg.GCEvery <= 0 {
+		return
+	}
+	if r.applies.Add(1)%int64(r.cfg.GCEvery) == 0 {
+		r.store.GC()
+	}
+}
+
+// --- Commit outcome plumbing --------------------------------------------------
+
+func (r *Replica) registerWaiter(id stm.TxnID) chan error {
+	ch := make(chan error, 1)
+	r.waitMu.Lock()
+	r.waiters[id] = ch
+	r.waitMu.Unlock()
+	return ch
+}
+
+func (r *Replica) resolveWaiter(id stm.TxnID, err error) {
+	r.waitMu.Lock()
+	ch, ok := r.waiters[id]
+	if ok {
+		delete(r.waiters, id)
+	}
+	r.waitMu.Unlock()
+	if ok {
+		ch <- err
+	}
+}
+
+func (r *Replica) dropWaiter(id stm.TxnID) {
+	r.waitMu.Lock()
+	delete(r.waiters, id)
+	r.waitMu.Unlock()
+}
+
+func (r *Replica) failAllWaiters(err error) {
+	r.waitMu.Lock()
+	for id, ch := range r.waiters {
+		delete(r.waiters, id)
+		ch <- err
+	}
+	r.waitMu.Unlock()
+}
+
+// --- In-flight write-set tracking ----------------------------------------------
+
+func (r *Replica) addInFlightLocked(ws stm.WriteSet) {
+	for _, e := range ws {
+		r.inFlight[e.Box]++
+	}
+}
+
+func (r *Replica) removeInFlight(ws stm.WriteSet) {
+	r.certMu.Lock()
+	for _, e := range ws {
+		if r.inFlight[e.Box] <= 1 {
+			delete(r.inFlight, e.Box)
+		} else {
+			r.inFlight[e.Box]--
+		}
+	}
+	r.certCond.Broadcast()
+	r.certMu.Unlock()
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/alcstm/alc/internal/bloom"
+	"github.com/alcstm/alc/internal/stm"
+)
+
+// Integration coverage for the replication managers lives in
+// internal/cluster; this file unit-tests the package's pure pieces.
+
+func TestProtocolString(t *testing.T) {
+	if ProtocolALC.String() != "ALC" || ProtocolCert.String() != "CERT" {
+		t.Fatalf("got %v / %v", ProtocolALC, ProtocolCert)
+	}
+	if got := Protocol(99).String(); got != "Protocol(99)" {
+		t.Fatalf("unknown protocol = %q", got)
+	}
+}
+
+func TestStatsAbortRate(t *testing.T) {
+	tests := []struct {
+		name    string
+		commits int64
+		aborts  int64
+		want    float64
+	}{
+		{"empty", 0, 0, 0},
+		{"no aborts", 10, 0, 0},
+		{"half", 5, 5, 0.5},
+		{"all aborts", 0, 3, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := Stats{Commits: tt.commits, Aborts: tt.aborts}
+			if got := s.AbortRate(); got != tt.want {
+				t.Fatalf("AbortRate = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDataSetUnion(t *testing.T) {
+	rs := stm.ReadSet{{Box: "a"}, {Box: "b"}}
+	ws := stm.WriteSet{{Box: "b", Value: 1}, {Box: "c", Value: 2}}
+	got := dataSet(rs, ws)
+	if len(got) != 3 {
+		t.Fatalf("dataSet = %v, want 3 distinct items", got)
+	}
+	seen := map[string]bool{}
+	for _, it := range got {
+		seen[it] = true
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		if !seen[want] {
+			t.Fatalf("dataSet missing %q: %v", want, got)
+		}
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	acc := accumulate(nil, []string{"a", "b"})
+	acc = accumulate(acc, []string{"b", "c"})
+	if len(acc) != 3 {
+		t.Fatalf("accumulate = %v, want {a,b,c}", acc)
+	}
+}
+
+func TestCertLogScanWindow(t *testing.T) {
+	l := newCertLog(8)
+	for ts := int64(1); ts <= 10; ts++ {
+		l.append(ts, []string{boxName(ts)})
+	}
+
+	// Inside the window, non-conflicting scan succeeds.
+	visited := map[string]bool{}
+	ok := l.scan(4, 10, func(box string) bool {
+		visited[box] = true
+		return true
+	})
+	if !ok || len(visited) != 7 {
+		t.Fatalf("scan(4..10) ok=%t visited=%d, want true/7", ok, len(visited))
+	}
+
+	// Conflict stops the scan.
+	ok = l.scan(4, 10, func(box string) bool { return box != boxName(6) })
+	if ok {
+		t.Fatal("scan ignored a conflict")
+	}
+
+	// Entries older than the retained window (ts 1,2 were overwritten)
+	// abort conservatively.
+	if l.scan(1, 10, func(string) bool { return true }) {
+		t.Fatal("scan outside the window should fail conservatively")
+	}
+}
+
+func TestCertLogSnapshotRestore(t *testing.T) {
+	l := newCertLog(16)
+	for ts := int64(1); ts <= 5; ts++ {
+		l.append(ts, []string{boxName(ts)})
+	}
+	entries := l.snapshot()
+	if len(entries) != 5 {
+		t.Fatalf("snapshot has %d entries, want 5", len(entries))
+	}
+
+	m := newCertLog(16)
+	m.restore(entries)
+	if !m.scan(1, 5, func(string) bool { return true }) {
+		t.Fatal("restored log cannot serve its window")
+	}
+}
+
+func TestRSCheckerExact(t *testing.T) {
+	m := &certMsg{RSExact: []string{"a", "b"}}
+	c, err := m.checker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.contains("a") || c.contains("z") {
+		t.Fatal("exact checker wrong")
+	}
+}
+
+func TestRSCheckerBloom(t *testing.T) {
+	f := bloom.NewWithFPRate(8, 0.01)
+	f.AddAll([]string{"a", "b"})
+	m := &certMsg{RSBloom: f.Marshal()}
+	c, err := m.checker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.contains("a") || !c.contains("b") {
+		t.Fatal("bloom checker lost members")
+	}
+}
+
+func TestRSCheckerBadBloom(t *testing.T) {
+	m := &certMsg{RSBloom: []byte{1, 2, 3}}
+	if _, err := m.checker(); err == nil {
+		t.Fatal("malformed bloom accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.fillDefaults()
+	if c.Protocol != ProtocolALC {
+		t.Fatalf("default protocol = %v", c.Protocol)
+	}
+	if c.CertLogSize != 65536 {
+		t.Fatalf("default cert log = %d", c.CertLogSize)
+	}
+}
+
+func boxName(ts int64) string { return string(rune('a' + ts)) }

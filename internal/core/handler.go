@@ -1,0 +1,144 @@
+package core
+
+import (
+	"github.com/alcstm/alc/internal/gcs"
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// gcsHandler adapts a Replica to the gcs.Handler interface without exposing
+// the upcall methods on the Replica's public API. All methods run on the GCS
+// dispatcher goroutine, sequentially, in delivery order.
+type gcsHandler Replica
+
+var _ gcs.Handler = (*gcsHandler)(nil)
+
+func (h *gcsHandler) rep() *Replica { return (*Replica)(h) }
+
+// OnOptDeliver feeds optimistically delivered lease requests to the lease
+// manager (§4.5 optimization (b): early lease freeing).
+func (h *gcsHandler) OnOptDeliver(from transport.ID, body any) {
+	if req, ok := body.(*lease.Request); ok {
+		h.rep().lm.HandleRequestOpt(req)
+	}
+}
+
+// OnTODeliver routes totally ordered messages: lease requests to the lease
+// manager, certification messages to the CERT validator.
+func (h *gcsHandler) OnTODeliver(from transport.ID, body any) {
+	r := h.rep()
+	switch m := body.(type) {
+	case *lease.Request:
+		r.lm.HandleRequestTO(m)
+	case *certMsg:
+		r.certApply(m)
+	}
+}
+
+// OnURDeliver routes causally ordered messages: write-set applications and
+// lease releases.
+func (h *gcsHandler) OnURDeliver(from transport.ID, body any) {
+	r := h.rep()
+	switch m := body.(type) {
+	case *applyWSMsg:
+		r.applyWS(m)
+	case *lease.Freed:
+		r.lm.HandleFreed(m)
+	}
+}
+
+// OnViewChange installs the new membership.
+func (h *gcsHandler) OnViewChange(v gcs.View) {
+	r := h.rep()
+	r.viewMu.Lock()
+	r.view = v
+	r.viewCond.Broadcast()
+	r.viewMu.Unlock()
+	r.primary.Store(v.Primary)
+	r.lm.HandleViewChange(v.Members, v.Rejoined)
+}
+
+// OnEjected fails every in-flight commit: only read-only transactions remain
+// serviceable outside the primary component.
+func (h *gcsHandler) OnEjected() {
+	r := h.rep()
+	r.primary.Store(false)
+	r.lm.HandleEjected()
+	r.failAllWaiters(ErrEjected)
+	r.certMu.Lock()
+	r.certCond.Broadcast()
+	r.certMu.Unlock()
+}
+
+// StateSnapshot captures the replica's full application state for a joiner.
+func (h *gcsHandler) StateSnapshot() any {
+	r := h.rep()
+	return &xferState{
+		Store:   r.store.Snapshot(),
+		Leases:  r.lm.SnapshotState(),
+		CertLog: r.certLog.snapshot(),
+	}
+}
+
+// InstallState adopts a transferred application state (joining replica).
+func (h *gcsHandler) InstallState(state any) {
+	st, ok := state.(*xferState)
+	if !ok {
+		return
+	}
+	r := h.rep()
+	r.store.Restore(st.Store)
+	r.lm.InstallState(st.Leases)
+	r.certLog.restore(st.CertLog)
+}
+
+// applyWS applies a lease-certified write-set (UR-delivered). For remotely
+// executed transactions this is the paper's commitRemoteXact; for the
+// replica's own transactions it is the commit confirmation that resolves the
+// waiting commit call (committedXact).
+func (r *Replica) applyWS(m *applyWSMsg) {
+	r.store.ApplyWriteSet(m.TxnID, m.WS)
+	r.maybeGC()
+	if m.TxnID.Replica == r.id {
+		r.removeInFlight(m.WS)
+		r.resolveWaiter(m.TxnID, nil)
+	}
+}
+
+// onEnabledPayload certifies a §4.5(c) piggybacked transaction the moment
+// its lease request is established. Every replica performs the same
+// writer-identity validation against an identical (conflict-ordered) store
+// state, so the outcome is deterministic cluster-wide; on success the
+// write-set is applied immediately — no separate broadcast.
+func (r *Replica) onEnabledPayload(req *lease.Request) {
+	p, ok := req.Payload.(*certPayload)
+	if !ok || p == nil {
+		return
+	}
+	valid := true
+	for _, e := range p.RS {
+		w, exists := r.store.HeadWriter(e.Box)
+		if !exists {
+			if !e.Writer.IsZero() {
+				valid = false
+				break
+			}
+			continue
+		}
+		if w != e.Writer {
+			valid = false
+			break
+		}
+	}
+	if valid {
+		r.store.ApplyWriteSet(p.TxnID, p.WS)
+		r.maybeGC()
+	}
+	if p.TxnID.Replica == r.id {
+		if valid {
+			r.resolveWaiter(p.TxnID, nil)
+		} else {
+			r.resolveWaiter(p.TxnID, errValidationFailed)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+
+	"github.com/alcstm/alc/internal/bloom"
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/stm"
+)
+
+// errValidationFailed is the internal commit outcome for a transaction whose
+// certification detected stale reads: the transaction must re-execute.
+var errValidationFailed = errors.New("core: certification failed, stale reads")
+
+// applyWSMsg disseminates a lease-certified transaction's write-set (ALC,
+// Algorithm 1's [ApplyWS, T, leaseID, writeset] message). It travels on the
+// causally ordered URB channel: two communication steps, no total ordering.
+type applyWSMsg struct {
+	TxnID   stm.TxnID
+	LeaseID lease.RequestID
+	WS      stm.WriteSet
+}
+
+// certMsg disseminates a transaction for AB-based certification (CERT
+// baseline): the Bloom-encoded (or exact) read-set and the write-set,
+// TO-delivered and validated deterministically at every replica.
+type certMsg struct {
+	TxnID stm.TxnID
+	// SnapshotOrd is the transaction's snapshot position in the totally
+	// ordered commit log. In CERT every commit is TO-delivered, so commit
+	// timestamps are identical cluster-wide and the snapshot is a
+	// replica-independent log position.
+	SnapshotOrd int64
+	WS          stm.WriteSet
+	// RSBloom is the Bloom-filter-encoded read-set (D2STM); RSExact is the
+	// uncompressed alternative when the filter is disabled.
+	RSBloom []byte
+	RSExact []string
+}
+
+// rsChecker answers "might the transaction have read box b?".
+type rsChecker struct {
+	filter *bloom.Filter
+	exact  map[string]bool
+}
+
+func (m *certMsg) checker() (*rsChecker, error) {
+	c := &rsChecker{}
+	if len(m.RSBloom) > 0 {
+		f, err := bloom.Unmarshal(m.RSBloom)
+		if err != nil {
+			return nil, err
+		}
+		c.filter = f
+		return c, nil
+	}
+	c.exact = make(map[string]bool, len(m.RSExact))
+	for _, id := range m.RSExact {
+		c.exact[id] = true
+	}
+	return c, nil
+}
+
+func (c *rsChecker) contains(box string) bool {
+	if c.filter != nil {
+		return c.filter.Contains(box)
+	}
+	return c.exact[box]
+}
+
+// certPayload is the §4.5 optimization (c) attachment to a lease request:
+// the transaction's read-set (with the replica-independent writer identities
+// of the versions observed) and write-set. Every replica certifies and, on
+// success, applies the transaction at the moment the lease is established —
+// three communication steps total, with no separate write-set broadcast.
+type certPayload struct {
+	TxnID stm.TxnID
+	RS    stm.ReadSet
+	WS    stm.WriteSet
+}
+
+// xferState is the application state transferred to a joining replica: the
+// STM heap, the lease table, and the CERT validation log.
+type xferState struct {
+	Store   stm.StoreSnapshot
+	Leases  *lease.State
+	CertLog []certLogEntry
+}
+
+// RegisterWire registers every replication-layer wire type with encoding/gob
+// for transports that serialize payloads (tcpnet). Values stored in boxes
+// must additionally be registered by the application (RegisterValue).
+func RegisterWire() {
+	gob.Register(&applyWSMsg{})
+	gob.Register(&certMsg{})
+	gob.Register(&certPayload{})
+	gob.Register(&lease.Request{})
+	gob.Register(&lease.Freed{})
+	gob.Register(&xferState{})
+}
+
+// RegisterValue registers an application value type stored in boxes, for
+// serializing transports.
+func RegisterValue(v any) {
+	gob.Register(v)
+}

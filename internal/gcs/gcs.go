@@ -1,0 +1,488 @@
+// Package gcs implements the view-synchronous Group Communication Service
+// that the ALC protocol stack runs on (§3 of the paper), providing:
+//
+//   - a primary-component group membership service with viewChange and
+//     ejected notifications,
+//   - Uniform Reliable Broadcast (URB) with causal order, and
+//   - Optimistic Atomic Broadcast (OAB) with Opt-deliver (spontaneous,
+//     single-communication-step order estimate) and TO-deliver (uniform
+//     total order).
+//
+// # Protocol
+//
+// Every broadcast travels as a uniform reliable broadcast: the sender
+// disseminates the payload to all view members, receivers acknowledge to all,
+// and a message is UR-delivered once a majority of the view has acknowledged
+// it and its causal predecessors (tracked by a per-view vector clock) have
+// been delivered — two communication steps in the failure-free case.
+//
+// Atomic broadcast is layered on URB with a fixed sequencer (the view
+// coordinator): the payload is Opt-delivered at first receipt (one step),
+// the sequencer assigns a global sequence number and disseminates it through
+// an internal URB message, and the payload is TO-delivered when both the
+// payload and its sequence number are UR-delivered and all lower sequence
+// numbers have been TO-delivered — three communication steps failure-free.
+// This reproduces the latency gap the paper's ALC protocol exploits: 2 steps
+// for a lease-holder's commit (one URB) versus 3+ for certification (one AB),
+// plus the sequencer's serial bottleneck under load.
+//
+// Membership changes run a coordinator-driven flush (virtual synchrony):
+// members stop broadcasting, report their unstable messages, and the
+// coordinator redistributes the union so every surviving member delivers the
+// same set of messages in the old view before installing the new one. A view
+// is primary only if it contains a majority of the previous primary view;
+// processes outside the primary component receive an ejected notification
+// and may continue to serve local read-only work, exactly as §3 prescribes.
+package gcs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Errors returned by broadcast operations.
+var (
+	// ErrNotPrimary is returned when broadcasting from a process that has
+	// been ejected from the primary component.
+	ErrNotPrimary = errors.New("gcs: not in primary component")
+	// ErrStopped is returned after Close.
+	ErrStopped = errors.New("gcs: endpoint stopped")
+)
+
+// View is an installed group membership view.
+type View struct {
+	ID      uint64
+	Members []transport.ID
+	Primary bool
+	// Rejoined lists members admitted into this view through a state
+	// transfer (first joins, rejoins after ejection, and processes that
+	// missed an installation). Their pre-transfer protocol state is void:
+	// the application must treat them as freshly initialized.
+	Rejoined []transport.ID
+}
+
+// Coordinator returns the view's coordinator (and OAB sequencer): the member
+// with the lowest ID.
+func (v View) Coordinator() transport.ID {
+	if len(v.Members) == 0 {
+		return transport.Nobody
+	}
+	min := v.Members[0]
+	for _, m := range v.Members[1:] {
+		if m < min {
+			min = m
+		}
+	}
+	return min
+}
+
+// Quorum returns the majority threshold of the view.
+func (v View) Quorum() int { return len(v.Members)/2 + 1 }
+
+// Contains reports whether id is a member of the view.
+func (v View) Contains(id transport.ID) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (v View) String() string {
+	return fmt.Sprintf("view(%d, members=%v, primary=%t)", v.ID, v.Members, v.Primary)
+}
+
+// Handler receives the GCS upcalls. All methods are invoked sequentially
+// from a single dispatcher goroutine per endpoint, mirroring the
+// single-threaded protocol execution model the paper assumes; handlers may
+// call the endpoint's broadcast methods but must not block indefinitely.
+type Handler interface {
+	// OnOptDeliver is the optimistic delivery of an OA-broadcast message:
+	// an early, possibly inaccurate estimate of the final total order.
+	OnOptDeliver(from transport.ID, body any)
+	// OnTODeliver delivers an OA-broadcast message in the final total order.
+	OnTODeliver(from transport.ID, body any)
+	// OnURDeliver delivers a UR-broadcast message (causal order).
+	OnURDeliver(from transport.ID, body any)
+	// OnViewChange announces a newly installed view.
+	OnViewChange(v View)
+	// OnEjected announces exclusion from the primary component.
+	OnEjected()
+	// StateSnapshot captures the application state for transfer to a
+	// joining process (called on the coordinator).
+	StateSnapshot() any
+	// InstallState installs a state snapshot on a joining process, before
+	// its first view change.
+	InstallState(state any)
+}
+
+// Config parametrizes an endpoint.
+type Config struct {
+	// Members is the group universe; the initial view contains all of them.
+	Members []transport.ID
+	// Joining starts this process outside the group: it requests admission
+	// and receives a state transfer before its first view.
+	Joining bool
+	// HeartbeatInterval is how often idle processes emit liveness beacons.
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence threshold for failure suspicion.
+	SuspectAfter time.Duration
+	// FlushTimeout bounds how long a view-change coordinator waits for
+	// flush responses before re-proposing without the laggards.
+	FlushTimeout time.Duration
+	// RetransmitAfter is how long a sender waits before re-sending an
+	// unstable message to members that have not acknowledged it.
+	RetransmitAfter time.Duration
+	// Tick is the internal timer granularity.
+	Tick time.Duration
+	// OrderInterval rate-limits the atomic-broadcast sequencer: successive
+	// total-order assignments are spaced at least this far apart (token
+	// bucket). Zero disables the limit. It exists to calibrate this GCS's
+	// AB capacity to that of a slower stack (the paper's Appia baseline)
+	// when reproducing published throughput figures; it has no effect on
+	// URB traffic.
+	OrderInterval time.Duration
+	// AutoRejoin makes an ejected process request readmission automatically.
+	AutoRejoin bool
+	// Logf, if set, receives debug traces.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 8 * c.HeartbeatInterval
+	}
+	if c.FlushTimeout <= 0 {
+		c.FlushTimeout = 2 * c.SuspectAfter
+	}
+	if c.RetransmitAfter <= 0 {
+		c.RetransmitAfter = 4 * c.HeartbeatInterval
+	}
+	if c.Tick <= 0 {
+		c.Tick = c.HeartbeatInterval / 4
+		if c.Tick < time.Millisecond {
+			c.Tick = time.Millisecond
+		}
+	}
+}
+
+// Endpoint is one process's GCS instance.
+type Endpoint struct {
+	cfg     Config
+	tr      transport.Transport
+	handler Handler
+	self    transport.ID
+
+	mu        sync.Mutex
+	view      View
+	vs        *viewState
+	inPrimary bool
+	ejectedAt uint64 // view ID at which we were ejected (0 = never)
+	joining   bool
+	blocked   bool // flush in progress: app broadcasts are queued
+
+	// outbox holds application broadcasts awaiting transmission (queued
+	// while a flush is in progress). Unbounded: bounded in practice by the
+	// number of in-flight application transactions.
+	outbox []outMsg
+
+	// suspicion state
+	lastHeard map[transport.ID]time.Time
+	joinReqs  map[transport.ID]bool
+
+	// flush state (proposer side)
+	prop           *proposal
+	lastProposalID uint64
+	pendingSend    *pendingInstall
+	// flush state (member side)
+	answeredProposal uint64
+	preparedBy       transport.ID
+	blockedSince     time.Time
+
+	// timers
+	lastBeat    time.Time
+	lastJoinReq time.Time
+	wantJoin    bool
+
+	// pending handler upcalls, collected under mu, invoked outside it
+	upcalls []func()
+
+	// ack batch accumulated during one dispatch round
+	ackBatch []msgID
+
+	notify  chan struct{} // outbox signal
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+type outMsg struct {
+	kind byte
+	body any
+}
+
+// NewEndpoint creates and starts a GCS endpoint over the given transport.
+func NewEndpoint(tr transport.Transport, h Handler, cfg Config) (*Endpoint, error) {
+	cfg.fillDefaults()
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("gcs: empty member set")
+	}
+	members := append([]transport.ID(nil), cfg.Members...)
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	e := &Endpoint{
+		cfg:       cfg,
+		tr:        tr,
+		handler:   h,
+		self:      tr.Self(),
+		lastHeard: make(map[transport.ID]time.Time),
+		joinReqs:  make(map[transport.ID]bool),
+		notify:    make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+
+	initial := View{ID: 1, Members: members, Primary: true}
+	if cfg.Joining {
+		e.joining = true
+		e.inPrimary = false
+		// Placeholder view; the real one arrives with the state transfer.
+		e.view = View{ID: 0, Members: members}
+		e.vs = newViewState(e.view)
+	} else {
+		e.view = initial
+		e.inPrimary = true
+		e.vs = newViewState(initial)
+	}
+	now := time.Now()
+	for _, m := range members {
+		e.lastHeard[m] = now
+	}
+
+	return e, nil
+}
+
+// Start launches the endpoint's dispatcher and announces the initial view.
+// It must be called exactly once, after the caller has finished wiring its
+// handler (upcalls may fire immediately).
+func (e *Endpoint) Start() {
+	go e.run()
+	if !e.cfg.Joining {
+		// Announce the initial view to the application.
+		e.mu.Lock()
+		v := e.view
+		h := e.handler
+		e.enqueueUpcall(func() { h.OnViewChange(v) })
+		e.mu.Unlock()
+		e.kick()
+	}
+}
+
+// Self returns the local process ID.
+func (e *Endpoint) Self() transport.ID { return e.self }
+
+// CurrentView returns the most recently installed view.
+func (e *Endpoint) CurrentView() View {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.view
+}
+
+// InPrimary reports whether the process is currently in the primary
+// component.
+func (e *Endpoint) InPrimary() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inPrimary
+}
+
+// OABroadcast submits body for optimistic atomic broadcast. The call is
+// asynchronous: delivery happens via the handler. It fails only if the
+// process is ejected or stopped.
+func (e *Endpoint) OABroadcast(body any) error {
+	return e.submit(kindOAB, body)
+}
+
+// URBroadcast submits body for uniform reliable broadcast (causal order).
+func (e *Endpoint) URBroadcast(body any) error {
+	return e.submit(kindURB, body)
+}
+
+func (e *Endpoint) submit(kind byte, body any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return ErrStopped
+	}
+	if !e.inPrimary {
+		return ErrNotPrimary
+	}
+	e.outbox = append(e.outbox, outMsg{kind: kind, body: body})
+	e.kick()
+	return nil
+}
+
+// RequestJoin asks the primary component to admit this process (used after
+// an ejection, or when Config.Joining was set the request is automatic).
+func (e *Endpoint) RequestJoin() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sendJoinReq()
+}
+
+// Close stops the endpoint.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return nil
+	}
+	e.stopped = true
+	e.mu.Unlock()
+	close(e.stop)
+	<-e.done
+	return nil
+}
+
+func (e *Endpoint) kick() {
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (e *Endpoint) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf("[gcs %d] "+format, append([]any{e.self}, args...)...)
+	}
+}
+
+// enqueueUpcall schedules a handler invocation; must be called with mu held.
+func (e *Endpoint) enqueueUpcall(f func()) {
+	e.upcalls = append(e.upcalls, f)
+}
+
+// run is the dispatcher: the single goroutine that processes network input,
+// timers and the outbox, and invokes handler upcalls in order.
+func (e *Endpoint) run() {
+	defer close(e.done)
+	ticker := time.NewTicker(e.cfg.Tick)
+	defer ticker.Stop()
+
+	inbox := e.tr.Inbox()
+	trDone := e.tr.Done()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-trDone:
+			return
+		case msg := <-inbox:
+			e.handleNet(msg)
+			// Drain a bounded batch to amortize ack traffic.
+			for i := 0; i < 256; i++ {
+				select {
+				case m := <-inbox:
+					e.handleNet(m)
+				default:
+					i = 256
+				}
+			}
+		case <-e.notify:
+		case <-ticker.C:
+			e.tick()
+		}
+		e.drainOutbox()
+		e.mu.Lock()
+		e.flushSequencerLocked()
+		e.mu.Unlock()
+		e.flushAcks()
+		e.runUpcalls()
+		e.distributePendingInstall()
+	}
+}
+
+// runUpcalls invokes the queued handler callbacks outside the state lock.
+func (e *Endpoint) runUpcalls() {
+	for {
+		e.mu.Lock()
+		if len(e.upcalls) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		calls := e.upcalls
+		e.upcalls = nil
+		e.mu.Unlock()
+		for _, f := range calls {
+			f()
+		}
+	}
+}
+
+// drainOutbox transmits queued application broadcasts unless a flush is in
+// progress.
+func (e *Endpoint) drainOutbox() {
+	for {
+		e.mu.Lock()
+		if e.blocked || e.joining || len(e.outbox) == 0 || e.stopped {
+			e.mu.Unlock()
+			return
+		}
+		m := e.outbox[0]
+		e.outbox = e.outbox[1:]
+		if !e.inPrimary {
+			e.mu.Unlock()
+			continue
+		}
+		e.broadcastDataLocked(m.kind, m.body)
+		e.mu.Unlock()
+	}
+}
+
+// broadcastDataLocked assigns identity and vector clock to an application
+// message and sends it to every view member (including self).
+func (e *Endpoint) broadcastDataLocked(kind byte, body any) {
+	vs := e.vs
+	vs.mySeq++
+	d := &urbData{
+		View: e.view.ID,
+		ID:   msgID{Sender: e.self, Seq: vs.mySeq},
+		Kind: kind,
+		VC:   vs.deliveredVector(),
+		Body: body,
+	}
+	e.sendToMembersLocked(d)
+}
+
+// sendToMembersLocked fans a payload out to all current view members.
+func (e *Endpoint) sendToMembersLocked(payload any) {
+	for _, m := range e.view.Members {
+		_ = e.tr.Send(m, payload)
+	}
+}
+
+// flushAcks transmits the accumulated acknowledgment batch.
+func (e *Endpoint) flushAcks() {
+	e.mu.Lock()
+	if len(e.ackBatch) == 0 || e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	batch := &urbAck{View: e.view.ID, From: e.self, IDs: e.ackBatch}
+	e.ackBatch = nil
+	members := append([]transport.ID(nil), e.view.Members...)
+	e.mu.Unlock()
+
+	for _, m := range members {
+		_ = e.tr.Send(m, batch)
+	}
+}

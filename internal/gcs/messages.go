@@ -1,0 +1,156 @@
+package gcs
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Message kinds carried inside urbData.
+const (
+	kindURB   byte = 1 // application uniform reliable broadcast
+	kindOAB   byte = 2 // application atomic broadcast payload
+	kindOrder byte = 3 // internal: sequencer order assignment batch
+)
+
+// msgID identifies a broadcast message within a view: the sender and the
+// sender's per-view sequence number (1-based).
+type msgID struct {
+	Sender transport.ID
+	Seq    uint64
+}
+
+func (id msgID) String() string { return fmt.Sprintf("%d:%d", id.Sender, id.Seq) }
+
+// urbData is the single wire format for all broadcast payloads. Every
+// broadcast (URB, OAB payload, internal order batch) is disseminated
+// uniform-reliably: receivers acknowledge to all members, and the message is
+// UR-delivered once a majority has acknowledged it and its causal
+// predecessors (VC) have been delivered.
+type urbData struct {
+	View uint64
+	ID   msgID
+	Kind byte
+	// VC is the sender's delivered-count vector at send time: VC[p] is the
+	// number of messages from p the sender had UR-delivered. Delivery is
+	// delayed until the local delivered vector dominates VC, which yields
+	// causal order (and per-sender FIFO via VC[sender] = Seq-1).
+	VC   map[transport.ID]uint64
+	Body any
+	// Committed marks a retransmission of a message its sender has already
+	// UR-delivered (hence majority-stable): late receivers may deliver it
+	// without re-collecting acknowledgements, which would otherwise be
+	// impossible — the historical acks are not replayed.
+	Committed bool
+}
+
+// urbAck acknowledges receipt of a batch of messages. Acks are broadcast to
+// all members so that everyone tracks stability (a message acknowledged by
+// the full view can be garbage collected).
+type urbAck struct {
+	View uint64
+	From transport.ID
+	IDs  []msgID
+}
+
+// orderEntry assigns a global sequence number to an OAB payload.
+type orderEntry struct {
+	ID   msgID
+	GSeq uint64
+}
+
+// orderBatch is the body of an internal kindOrder message emitted by the
+// sequencer (the view coordinator).
+type orderBatch struct {
+	Entries []orderEntry
+}
+
+// heartbeat is a liveness beacon.
+type heartbeat struct {
+	View uint64
+	From transport.ID
+}
+
+// joinReq asks the primary component to admit the sender.
+type joinReq struct {
+	From transport.ID
+}
+
+// vcPrepare starts a view change: members of the proposed view stop
+// broadcasting and respond with their unstable state.
+type vcPrepare struct {
+	ProposalID uint64
+	Proposer   transport.ID
+	Members    []transport.ID
+}
+
+// vcFlush is a member's response to vcPrepare: everything it knows that may
+// not be stable yet.
+type vcFlush struct {
+	ProposalID uint64
+	From       transport.ID
+	// ViewID is the respondent's current view. A respondent behind the
+	// proposer's view missed an installation and is readmitted through a
+	// state transfer instead of a flush merge.
+	ViewID uint64
+	// Unstable carries every message the member has received that is not
+	// known stable (acknowledged by the full view), including already
+	// delivered ones so the coordinator can retransmit to laggards.
+	Unstable []*urbData
+	// Delivered is the member's delivered-count vector.
+	Delivered map[transport.ID]uint64
+	// NextGSeq is the member's next-expected total-order sequence number.
+	NextGSeq uint64
+	// Orders are the member's known, not-yet-TO-delivered order assignments.
+	Orders []orderEntry
+	// SeqNext is meaningful on the old sequencer: the next unassigned GSeq.
+	SeqNext uint64
+}
+
+// vcInstall finalizes a view change. Receivers deliver everything in
+// Deliveries/Orders that they have not yet delivered (in a deterministic
+// order), then install the view.
+type vcInstall struct {
+	ProposalID uint64
+	View       View
+	// Deliveries is the causally closed union of unstable messages; every
+	// member delivers the ones it has not delivered yet before installing
+	// the view (virtual synchrony).
+	Deliveries []*urbData
+	// Orders is the complete total-order assignment for every OAB payload
+	// in the old view that had not been TO-delivered everywhere, including
+	// coordinator-assigned slots for payloads the old sequencer never
+	// ordered.
+	Orders []orderEntry
+	// HasState marks a state transfer for a joining member; State is the
+	// application snapshot captured after the coordinator finished the old
+	// view's deliveries.
+	HasState bool
+	State    any
+	// Clock is the delivered-vector after processing Deliveries, used by
+	// joiners to adopt the group's progress without replaying it.
+	Clock map[transport.ID]uint64
+}
+
+// ejectNotice tells a process it is not part of the installed view (it has
+// been excluded from the primary component).
+type ejectNotice struct {
+	ViewID uint64
+}
+
+// RegisterWire registers every GCS wire type with encoding/gob for
+// serializing transports (tcpnet). Application payload types carried inside
+// broadcasts must be registered separately.
+func RegisterWire() {
+	gob.Register(&urbData{})
+	gob.Register(&urbAck{})
+	gob.Register(&orderBatch{})
+	gob.Register(&heartbeat{})
+	gob.Register(&joinReq{})
+	gob.Register(&vcPrepare{})
+	gob.Register(&vcFlush{})
+	gob.Register(&vcInstall{})
+	gob.Register(&vcStale{})
+	gob.Register(&ejectNotice{})
+}

@@ -1,0 +1,713 @@
+package gcs
+
+import (
+	"sort"
+	"time"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// proposal is the coordinator-side state of an in-progress view change.
+type proposal struct {
+	id        uint64
+	members   []transport.ID
+	joiners   map[transport.ID]bool // members needing a state transfer
+	responses map[transport.ID]*vcFlush
+	startedAt time.Time
+}
+
+// pendingInstall carries a computed view installation from the dispatch
+// round that decided it to the point (after local upcalls have run) where
+// the application state can be snapshotted for joiners.
+type pendingInstall struct {
+	install *vcInstall
+	joiners map[transport.ID]bool
+	targets []transport.ID
+	ejected []transport.ID
+}
+
+// handleNet dispatches one incoming transport message.
+func (e *Endpoint) handleNet(msg transport.Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
+	e.lastHeard[msg.From] = time.Now()
+
+	switch m := msg.Payload.(type) {
+	case *urbData:
+		if e.joining {
+			return
+		}
+		e.handleData(m)
+		e.flushSequencerLocked()
+	case *urbAck:
+		if e.joining {
+			return
+		}
+		e.handleAck(m)
+	case *heartbeat:
+		// Liveness already recorded. A beacon from a process stuck in an
+		// older view tells the coordinator to pull it back in through a
+		// state transfer.
+		if m.View < e.view.ID && e.isCoordinatorLocked() && e.view.Contains(m.From) {
+			e.joinReqs[m.From] = true
+		}
+	case *joinReq:
+		if e.inPrimary {
+			e.joinReqs[m.From] = true
+		}
+	case *vcPrepare:
+		e.handlePrepare(m)
+	case *vcFlush:
+		e.handleFlush(m)
+	case *vcInstall:
+		e.handleInstall(m)
+	case *vcStale:
+		e.handleStale(m)
+	case *ejectNotice:
+		e.ejectLocked()
+	default:
+		e.logf("unknown payload %T from %d", msg.Payload, msg.From)
+	}
+}
+
+// vcStale tells a proposer that its view is behind the respondent's.
+type vcStale struct {
+	ViewID uint64
+}
+
+func (e *Endpoint) isCoordinatorLocked() bool {
+	return !e.joining && e.inPrimary && e.view.Coordinator() == e.self
+}
+
+// ejectLocked marks the process as excluded from the primary component.
+func (e *Endpoint) ejectLocked() {
+	if !e.inPrimary && e.ejectedAt != 0 {
+		return
+	}
+	e.inPrimary = false
+	e.blocked = false
+	e.ejectedAt = e.view.ID
+	e.outbox = nil
+	h := e.handler
+	e.enqueueUpcall(func() { h.OnEjected() })
+	e.logf("ejected from primary component at view %d", e.view.ID)
+}
+
+// --- Failure detection and proposing (tick) ---------------------------------
+
+var _timeZero time.Time
+
+// tick runs periodic duties: heartbeats, retransmission, suspicion, and view
+// change proposing.
+func (e *Endpoint) tick() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return
+	}
+	now := time.Now()
+
+	e.maybeHeartbeatLocked(now)
+	if !e.joining {
+		e.retransmitLocked(now)
+		e.gcAcksLocked(now)
+		e.flushSequencerLocked()
+	}
+
+	if e.joining || (!e.inPrimary && (e.wantJoin || e.cfg.AutoRejoin)) {
+		e.maybeJoinReqLocked(now)
+		return
+	}
+	if !e.inPrimary {
+		return
+	}
+
+	suspected := e.suspectedLocked(now)
+
+	// Self-ejection: if fewer than a quorum of the current view appears
+	// alive, this process cannot be in the primary component.
+	alive := 0
+	for _, m := range e.view.Members {
+		if m == e.self || !suspected[m] {
+			alive++
+		}
+	}
+	if alive < e.view.Quorum() {
+		e.ejectLocked()
+		return
+	}
+
+	// Unstick: if a flush stalled (proposer crashed before install), resume
+	// normal operation; the heartbeat view-lag mechanism repairs divergence.
+	if e.blocked && e.blockedSince != _timeZero && now.Sub(e.blockedSince) > 3*e.cfg.FlushTimeout {
+		e.logf("flush stalled, unblocking")
+		e.blocked = false
+		e.blockedSince = _timeZero
+	}
+
+	e.maybeProposeLocked(now, suspected)
+	e.maybeFinishProposalLocked(now)
+}
+
+func (e *Endpoint) maybeHeartbeatLocked(now time.Time) {
+	if now.Sub(e.lastBeat) < e.cfg.HeartbeatInterval {
+		return
+	}
+	e.lastBeat = now
+	hb := &heartbeat{View: e.view.ID, From: e.self}
+	for _, m := range e.cfg.Members {
+		if m != e.self {
+			_ = e.tr.Send(m, hb)
+		}
+	}
+}
+
+func (e *Endpoint) maybeJoinReqLocked(now time.Time) {
+	if now.Sub(e.lastJoinReq) < e.cfg.SuspectAfter {
+		return
+	}
+	e.sendJoinReq()
+}
+
+func (e *Endpoint) sendJoinReq() {
+	e.lastJoinReq = time.Now()
+	req := &joinReq{From: e.self}
+	for _, m := range e.cfg.Members {
+		if m != e.self {
+			_ = e.tr.Send(m, req)
+		}
+	}
+	e.wantJoin = true
+}
+
+// suspectedLocked returns the set of current-view members considered failed.
+func (e *Endpoint) suspectedLocked(now time.Time) map[transport.ID]bool {
+	out := make(map[transport.ID]bool)
+	for _, m := range e.view.Members {
+		if m == e.self {
+			continue
+		}
+		if now.Sub(e.lastHeard[m]) > e.cfg.SuspectAfter {
+			out[m] = true
+		}
+	}
+	return out
+}
+
+// maybeProposeLocked starts a view change if this process is the acting
+// coordinator (lowest unsuspected member) and membership needs to change.
+func (e *Endpoint) maybeProposeLocked(now time.Time, suspected map[transport.ID]bool) {
+	// Acting coordinator: lowest member neither suspected nor known to be
+	// rejoining (a restarted process heartbeats under its old identity but
+	// cannot coordinate: it has no state and is waiting for admission).
+	acting := transport.Nobody
+	for _, m := range e.view.Members {
+		if !suspected[m] && !e.joinReqs[m] && (acting == transport.Nobody || m < acting) {
+			acting = m
+		}
+	}
+	if acting != e.self {
+		return
+	}
+
+	// Joiners: every process that asked to (re)join needs a state transfer,
+	// even if it is formally still a member of the current view (a process
+	// that crashed and restarted keeps heartbeating under its old identity
+	// but has lost all state).
+	joiners := make(map[transport.ID]bool)
+	for j := range e.joinReqs {
+		if j != e.self && !suspected[j] {
+			joiners[j] = true
+		}
+	}
+	needsChange := len(joiners) > 0
+	for _, m := range e.view.Members {
+		if suspected[m] {
+			needsChange = true
+		}
+	}
+	if !needsChange || e.prop != nil {
+		return
+	}
+
+	members := make([]transport.ID, 0, len(e.view.Members)+len(joiners))
+	for _, m := range e.view.Members {
+		if !suspected[m] && !joiners[m] {
+			members = append(members, m)
+		}
+	}
+	// Primary component chain: the survivors must be a majority of the
+	// current view, otherwise this side must not install a new view.
+	if len(members) < e.view.Quorum() {
+		e.ejectLocked()
+		return
+	}
+	for j := range joiners {
+		members = append(members, j)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	id := e.view.ID + 1
+	if e.answeredProposal >= id {
+		id = e.answeredProposal + 1
+	}
+	if e.lastProposalID >= id {
+		id = e.lastProposalID + 1
+	}
+	e.lastProposalID = id
+	e.prop = &proposal{
+		id:        id,
+		members:   members,
+		joiners:   joiners,
+		responses: make(map[transport.ID]*vcFlush),
+		startedAt: now,
+	}
+	e.logf("proposing view %d members %v (joiners %v)", id, members, joiners)
+	prep := &vcPrepare{ProposalID: id, Proposer: e.self, Members: members}
+	for _, m := range members {
+		_ = e.tr.Send(m, prep)
+	}
+}
+
+// maybeFinishProposalLocked handles flush timeouts: laggards are dropped and
+// the proposal restarts without them.
+func (e *Endpoint) maybeFinishProposalLocked(now time.Time) {
+	p := e.prop
+	if p == nil || now.Sub(p.startedAt) < e.cfg.FlushTimeout {
+		return
+	}
+	missing := make([]transport.ID, 0)
+	for _, m := range p.members {
+		if _, ok := p.responses[m]; !ok {
+			missing = append(missing, m)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	e.logf("flush timeout, dropping %v", missing)
+	members := make([]transport.ID, 0, len(p.members))
+	oldSurvivors := 0
+	for _, m := range p.members {
+		skip := false
+		for _, x := range missing {
+			if m == x {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		members = append(members, m)
+		if e.view.Contains(m) {
+			oldSurvivors++
+		}
+	}
+	if oldSurvivors < e.view.Quorum() {
+		e.prop = nil
+		e.ejectLocked()
+		return
+	}
+	id := p.id + 1
+	e.lastProposalID = id
+	joiners := make(map[transport.ID]bool)
+	for j := range p.joiners {
+		if containsID(members, j) {
+			joiners[j] = true
+		}
+	}
+	e.prop = &proposal{
+		id:        id,
+		members:   members,
+		joiners:   joiners,
+		responses: make(map[transport.ID]*vcFlush),
+		startedAt: now,
+	}
+	prep := &vcPrepare{ProposalID: id, Proposer: e.self, Members: members}
+	for _, m := range members {
+		_ = e.tr.Send(m, prep)
+	}
+}
+
+func containsID(ids []transport.ID, id transport.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Member side of the flush ------------------------------------------------
+
+func (e *Endpoint) handlePrepare(p *vcPrepare) {
+	if !containsID(p.Members, e.self) {
+		return
+	}
+	if p.ProposalID <= e.view.ID {
+		// The proposer is behind us: tell it so it can rejoin.
+		_ = e.tr.Send(p.Proposer, &vcStale{ViewID: e.view.ID})
+		return
+	}
+	if p.ProposalID <= e.answeredProposal {
+		return // already answered an equal or newer proposal
+	}
+	e.answeredProposal = p.ProposalID
+	e.preparedBy = p.Proposer
+	if !e.blocked {
+		e.blocked = true
+		e.blockedSince = time.Now()
+	}
+
+	resp := &vcFlush{
+		ProposalID: p.ProposalID,
+		From:       e.self,
+		ViewID:     e.view.ID,
+	}
+	if !e.joining {
+		resp.Unstable = e.unstableMessagesLocked()
+		resp.Delivered = e.vs.deliveredVector()
+		resp.NextGSeq = e.vs.nextGSeq
+		resp.Orders = e.pendingOrdersLocked()
+		resp.SeqNext = e.vs.seqNext
+	}
+	_ = e.tr.Send(p.Proposer, resp)
+}
+
+func (e *Endpoint) handleStale(s *vcStale) {
+	if s.ViewID <= e.view.ID {
+		return
+	}
+	// We are behind the primary component: abandon any proposal and rejoin.
+	e.logf("behind primary (view %d < %d), rejoining", e.view.ID, s.ViewID)
+	e.prop = nil
+	e.ejectLocked()
+	e.sendJoinReq()
+}
+
+// --- Proposer side: collecting flushes and computing the install -------------
+
+func (e *Endpoint) handleFlush(f *vcFlush) {
+	p := e.prop
+	if p == nil || f.ProposalID != p.id {
+		return
+	}
+	if f.ViewID > e.view.ID {
+		// We are the stale ones; stop proposing and rejoin.
+		e.handleStale(&vcStale{ViewID: f.ViewID})
+		return
+	}
+	if f.ViewID < e.view.ID {
+		// The respondent is behind (missed a previous install): it needs a
+		// full state transfer, not a flush merge.
+		p.joiners[f.From] = true
+		f.Unstable = nil
+		f.Orders = nil
+	}
+	p.responses[f.From] = f
+	if len(p.responses) == len(p.members) {
+		e.computeInstallLocked()
+	}
+}
+
+// computeInstallLocked merges the flush responses into a vcInstall, applies
+// it locally, and schedules distribution (after local upcalls have run, so
+// the state snapshot for joiners reflects the final old-view deliveries).
+func (e *Endpoint) computeInstallLocked() {
+	p := e.prop
+	e.prop = nil
+
+	// Refresh the proposer's own contribution: messages that arrived after
+	// it answered its own prepare (for example its own broadcasts that were
+	// in flight when the flush started) would otherwise miss the union.
+	if own, ok := p.responses[e.self]; ok && !e.joining {
+		own.Unstable = e.unstableMessagesLocked()
+		own.Orders = e.pendingOrdersLocked()
+		own.SeqNext = e.vs.seqNext
+	}
+
+	// Union of unstable messages.
+	union := make(map[msgID]*urbData)
+	ordered := make(map[msgID]uint64)
+	var maxAssigned uint64 // one past the highest assigned gseq
+	for _, f := range p.responses {
+		for _, d := range f.Unstable {
+			if d.View != e.view.ID {
+				continue
+			}
+			if _, ok := union[d.ID]; !ok {
+				union[d.ID] = d
+			}
+			// Order batches carry assignments that may not have been
+			// UR-delivered anywhere yet.
+			if d.Kind == kindOrder {
+				if b, ok := d.Body.(*orderBatch); ok {
+					for _, ent := range b.Entries {
+						ordered[ent.ID] = ent.GSeq
+						if ent.GSeq+1 > maxAssigned {
+							maxAssigned = ent.GSeq + 1
+						}
+					}
+				}
+			}
+		}
+		for _, ent := range f.Orders {
+			ordered[ent.ID] = ent.GSeq
+			if ent.GSeq+1 > maxAssigned {
+				maxAssigned = ent.GSeq + 1
+			}
+		}
+		if f.SeqNext > maxAssigned {
+			maxAssigned = f.SeqNext
+		}
+	}
+
+	// Deterministic delivery list.
+	deliveries := make([]*urbData, 0, len(union))
+	for _, d := range union {
+		deliveries = append(deliveries, d)
+	}
+	sort.Slice(deliveries, func(i, j int) bool {
+		if deliveries[i].ID.Sender != deliveries[j].ID.Sender {
+			return deliveries[i].ID.Sender < deliveries[j].ID.Sender
+		}
+		return deliveries[i].ID.Seq < deliveries[j].ID.Seq
+	})
+
+	// Assign total-order slots to OAB payloads that were never ordered, in
+	// deterministic (sender, seq) order after all existing assignments.
+	orderList := make([]orderEntry, 0, len(ordered))
+	for id, g := range ordered {
+		orderList = append(orderList, orderEntry{ID: id, GSeq: g})
+	}
+	for _, d := range deliveries {
+		if d.Kind != kindOAB {
+			continue
+		}
+		if _, ok := ordered[d.ID]; ok {
+			continue
+		}
+		orderList = append(orderList, orderEntry{ID: d.ID, GSeq: maxAssigned})
+		ordered[d.ID] = maxAssigned
+		maxAssigned++
+	}
+	sort.Slice(orderList, func(i, j int) bool { return orderList[i].GSeq < orderList[j].GSeq })
+
+	rejoined := make([]transport.ID, 0, len(p.joiners))
+	for j := range p.joiners {
+		rejoined = append(rejoined, j)
+	}
+	sort.Slice(rejoined, func(i, j int) bool { return rejoined[i] < rejoined[j] })
+	newView := View{ID: p.id, Members: p.members, Primary: true, Rejoined: rejoined}
+	install := &vcInstall{
+		ProposalID: p.id,
+		View:       newView,
+		Deliveries: deliveries,
+		Orders:     orderList,
+	}
+
+	e.logf("installing %v: %d deliveries, %d orders", newView, len(deliveries), len(orderList))
+
+	// Apply locally first so the coordinator's state snapshot (taken after
+	// upcalls run) includes every old-view delivery.
+	ejected := make([]transport.ID, 0)
+	for _, m := range e.view.Members {
+		if !containsID(p.members, m) {
+			ejected = append(ejected, m)
+		}
+	}
+	targets := make([]transport.ID, 0, len(p.members))
+	for _, m := range p.members {
+		if m != e.self {
+			targets = append(targets, m)
+		}
+	}
+	e.applyInstallLocked(install, false)
+	e.pendingSend = &pendingInstall{
+		install: install,
+		joiners: p.joiners,
+		targets: targets,
+		ejected: ejected,
+	}
+}
+
+// distributePendingInstall runs on the dispatcher after upcalls: it captures
+// the application state for joiners and ships the install.
+func (e *Endpoint) distributePendingInstall() {
+	e.mu.Lock()
+	ps := e.pendingSend
+	e.pendingSend = nil
+	e.mu.Unlock()
+	if ps == nil {
+		return
+	}
+
+	var state any
+	if len(ps.joiners) > 0 {
+		state = e.handler.StateSnapshot()
+	}
+	for _, m := range ps.targets {
+		msg := *ps.install // shallow copy; slices shared read-only
+		if ps.joiners[m] {
+			msg.HasState = true
+			msg.State = state
+		}
+		_ = e.tr.Send(m, &msg)
+	}
+	for _, m := range ps.ejected {
+		_ = e.tr.Send(m, &ejectNotice{ViewID: ps.install.View.ID})
+	}
+}
+
+// --- Installation -------------------------------------------------------------
+
+func (e *Endpoint) handleInstall(in *vcInstall) {
+	if in.View.ID <= e.view.ID {
+		return
+	}
+	if !containsID(in.View.Members, e.self) {
+		e.ejectLocked()
+		return
+	}
+	e.applyInstallLocked(in, in.HasState)
+	if in.HasState {
+		st := in.State
+		h := e.handler
+		// InstallState must precede the view-change upcall; prepend it.
+		calls := e.upcalls
+		e.upcalls = append([]func(){func() { h.InstallState(st) }}, calls...)
+	}
+}
+
+// applyInstallLocked delivers the flush set and switches to the new view.
+func (e *Endpoint) applyInstallLocked(in *vcInstall, freshState bool) {
+	var lost []*urbData
+	if !freshState && !e.joining {
+		lost = e.deliverFlushSetLocked(in)
+	}
+
+	old := e.view.ID
+	e.view = in.View
+	e.vs = newViewState(in.View)
+	e.inPrimary = true
+	e.ejectedAt = 0
+	e.joining = false
+	e.blocked = false
+	e.blockedSince = _timeZero
+	e.wantJoin = false
+	e.prop = nil
+	e.joinReqs = make(map[transport.ID]bool)
+	now := time.Now()
+	for _, m := range in.View.Members {
+		e.lastHeard[m] = now
+	}
+
+	// Resubmit own lost in-flight messages ahead of anything queued during
+	// the flush, preserving the sender's FIFO order.
+	if len(lost) > 0 {
+		resub := make([]outMsg, 0, len(lost)+len(e.outbox))
+		for _, d := range lost {
+			resub = append(resub, outMsg{kind: d.Kind, body: d.Body})
+		}
+		e.outbox = append(resub, e.outbox...)
+	}
+
+	v := e.view
+	h := e.handler
+	e.enqueueUpcall(func() { h.OnViewChange(v) })
+	e.logf("installed view %d (from %d)", v.ID, old)
+	e.kick() // release any queued outbox traffic into the new view
+}
+
+// deliverFlushSetLocked delivers, in causal order, every message from the
+// final old-view set that this process has not delivered yet, then applies
+// the final total order. This is the virtual-synchrony step: after it, every
+// member that installs the view has delivered the same set of messages.
+//
+// It returns the process's own in-flight messages that did NOT make it into
+// the final set: a message broadcast just as the flush started may still
+// have been in flight when every member responded, in which case it exists
+// nowhere in the union and would otherwise be lost (violating validity for
+// its — surviving — sender). Such messages are resubmitted in the new view;
+// they are exactly-once because a message absent from the union cannot have
+// been UR- or TO-delivered anywhere (either delivery requires a majority to
+// hold it, and a majority of the old view responded to the flush).
+func (e *Endpoint) deliverFlushSetLocked(in *vcInstall) []*urbData {
+	vs := e.vs
+	inSet := make(map[msgID]bool, len(in.Deliveries))
+
+	// Stage unseen messages of the final set as pending.
+	for _, d := range in.Deliveries {
+		if d.View != e.view.ID {
+			continue
+		}
+		inSet[d.ID] = true
+		if d.ID.Seq <= vs.delivered[d.ID.Sender] {
+			continue // already delivered
+		}
+		if _, ok := vs.pending[d.ID]; ok {
+			continue // already received
+		}
+		pm := &pendingMsg{data: d, sentAt: time.Now()}
+		vs.pending[d.ID] = pm
+		if d.Kind == kindOAB {
+			from, body := d.ID.Sender, d.Body
+			e.enqueueUpcall(func() { e.handler.OnOptDeliver(from, body) })
+		}
+	}
+
+	// Forced causal delivery of the final set: quorum checks no longer
+	// apply, the coordinator has decided this set is final. Messages
+	// outside the set must NOT be delivered locally — no one else will
+	// deliver them.
+	for progress := true; progress; {
+		progress = false
+		for _, pm := range vs.pending {
+			if !inSet[pm.data.ID] || !vs.causallyReady(pm.data) {
+				continue
+			}
+			d := pm.data
+			delete(vs.pending, d.ID)
+			vs.delivered[d.ID.Sender] = d.ID.Seq
+			vs.retained[d.ID] = pm
+			switch d.Kind {
+			case kindURB:
+				from, body := d.ID.Sender, d.Body
+				e.enqueueUpcall(func() { e.handler.OnURDeliver(from, body) })
+			case kindOAB:
+				vs.urDone[d.ID] = true
+			case kindOrder:
+				// Order batches are superseded by in.Orders.
+			}
+			progress = true
+		}
+	}
+
+	// Final total order: TO-deliver everything not yet TO-delivered.
+	for _, ent := range in.Orders {
+		pm := e.findMsgLocked(ent.ID)
+		if pm == nil || pm.toDelivered {
+			continue
+		}
+		pm.toDelivered = true
+		from, body := pm.data.ID.Sender, pm.data.Body
+		e.enqueueUpcall(func() { e.handler.OnTODeliver(from, body) })
+	}
+
+	// Collect own lost in-flight application messages for resubmission.
+	var lost []*urbData
+	for _, pm := range vs.pending {
+		d := pm.data
+		if d.ID.Sender == e.self && d.Kind != kindOrder && !inSet[d.ID] {
+			lost = append(lost, d)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].ID.Seq < lost[j].ID.Seq })
+	if len(lost) > 0 {
+		e.logf("install: resubmitting %d in-flight messages into the new view", len(lost))
+	}
+	return lost
+}

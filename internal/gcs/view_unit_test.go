@@ -1,0 +1,99 @@
+package gcs
+
+import (
+	"testing"
+	"time"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+func TestViewCoordinator(t *testing.T) {
+	tests := []struct {
+		members []transport.ID
+		want    transport.ID
+	}{
+		{nil, transport.Nobody},
+		{[]transport.ID{3}, 3},
+		{[]transport.ID{5, 2, 9}, 2},
+		{[]transport.ID{0, 1, 2}, 0},
+	}
+	for _, tt := range tests {
+		v := View{Members: tt.members}
+		if got := v.Coordinator(); got != tt.want {
+			t.Errorf("Coordinator(%v) = %d, want %d", tt.members, got, tt.want)
+		}
+	}
+}
+
+func TestViewQuorum(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {8, 5},
+	}
+	for _, tt := range tests {
+		members := make([]transport.ID, tt.n)
+		for i := range members {
+			members[i] = transport.ID(i)
+		}
+		if got := (View{Members: members}).Quorum(); got != tt.want {
+			t.Errorf("Quorum(n=%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestViewContains(t *testing.T) {
+	v := View{Members: []transport.ID{1, 3}}
+	if !v.Contains(1) || !v.Contains(3) || v.Contains(2) {
+		t.Fatalf("Contains misbehaves on %v", v)
+	}
+}
+
+func TestConfigFillDefaults(t *testing.T) {
+	c := Config{}
+	c.fillDefaults()
+	if c.HeartbeatInterval <= 0 || c.SuspectAfter <= c.HeartbeatInterval ||
+		c.FlushTimeout <= 0 || c.RetransmitAfter <= 0 || c.Tick <= 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+
+	c = Config{HeartbeatInterval: time.Second}
+	c.fillDefaults()
+	if c.SuspectAfter != 8*time.Second {
+		t.Fatalf("SuspectAfter = %v, want 8x heartbeat", c.SuspectAfter)
+	}
+}
+
+func TestCausallyReady(t *testing.T) {
+	vs := newViewState(View{ID: 1, Members: []transport.ID{0, 1, 2}})
+	vs.delivered[0] = 2
+	vs.delivered[1] = 1
+
+	tests := []struct {
+		name string
+		d    *urbData
+		want bool
+	}{
+		{"next in FIFO, deps met",
+			&urbData{ID: msgID{Sender: 0, Seq: 3}, VC: map[transport.ID]uint64{1: 1}}, true},
+		{"FIFO gap",
+			&urbData{ID: msgID{Sender: 0, Seq: 5}, VC: nil}, false},
+		{"causal dep missing",
+			&urbData{ID: msgID{Sender: 0, Seq: 3}, VC: map[transport.ID]uint64{2: 1}}, false},
+		{"own VC entry ignored",
+			&urbData{ID: msgID{Sender: 1, Seq: 2}, VC: map[transport.ID]uint64{1: 99}}, true},
+	}
+	for _, tt := range tests {
+		if got := vs.causallyReady(tt.d); got != tt.want {
+			t.Errorf("%s: causallyReady = %t, want %t", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestContainsIDHelper(t *testing.T) {
+	ids := []transport.ID{1, 2, 3}
+	if !containsID(ids, 2) || containsID(ids, 9) {
+		t.Fatal("containsID misbehaves")
+	}
+}

@@ -1,0 +1,451 @@
+package lease
+
+import (
+	"sort"
+	"time"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// The methods in this file are the GCS-facing side of the Lease Manager:
+// they are invoked by the replica's GCS handler, sequentially, in delivery
+// order.
+
+// HandleRequestTO processes the TO-delivery of a lease request (Algorithm 2
+// and the Algorithm 4 split): piggybacked releases are applied first, local
+// conflicting requests are blocked (fairness) and scheduled for release, and
+// the request is enqueued in every conflict class queue in the total order.
+func (m *Manager) HandleRequestTO(req *Request) {
+	m.mu.Lock()
+
+	for _, fid := range req.FreeFirst {
+		m.applyFreedLocked(fid)
+	}
+
+	st := m.reqs[req.ID]
+	if st == nil {
+		st = &reqState{req: req, local: req.ID.Proc == m.self}
+		m.reqs[req.ID] = st
+	}
+
+	m.enqueueSeq++
+	st.pos = m.enqueueSeq
+	if m.earlyFreed[req.ID] {
+		// The release overtook the request (cross-protocol reordering of
+		// the URB release against the OAB request): the net effect is a
+		// request that is enqueued and dequeued in one step.
+		delete(m.earlyFreed, req.ID)
+		st.freed = true
+		st.enqueued = true
+	} else {
+		st.enqueued = true
+		for _, cc := range req.Classes {
+			q := m.queues[cc]
+			m.queues[cc] = append(q, st)
+			if len(q) == 0 {
+				st.headCount++
+			}
+		}
+	}
+
+	// Fairness and liveness: ANY conflicting request — remote (the paper's
+	// rule) or a later local one (which cannot reuse this replica's
+	// existing requests, e.g. a §4.5(c) payload request or a request with
+	// different classes) — blocks the older local requests so they drain
+	// and transfer. Without the local half, a replica's own retained lease
+	// would starve its own later requests forever.
+	if req.Wildcard {
+		m.blockAllLocalLocked(st)
+	} else {
+		m.blockConflictingLocalLocked(req.Classes, st)
+	}
+
+	m.afterChangeLocked()
+	newlyEnabled := m.enabledPayloadsLocked()
+	h := m.handler
+	m.mu.Unlock()
+
+	for _, r := range newlyEnabled {
+		h(r)
+	}
+}
+
+// HandleRequestOpt processes the optimistic delivery of a lease request
+// (§4.5 optimization (b), Algorithm 4): conflicting local leases are blocked
+// and released immediately, overlapping the release with the request's final
+// ordering. Safe even if the optimistic order mismatches the final one — the
+// net effect is only an earlier release of leases this replica holds.
+func (m *Manager) HandleRequestOpt(req *Request) {
+	if !m.cfg.OptimisticFree {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if req.ID.Proc == m.self {
+		return
+	}
+	if req.Wildcard {
+		m.blockAllLocalLocked(nil)
+	} else {
+		m.blockConflictingLocalLocked(req.Classes, nil)
+	}
+	m.maybeFreeAllLocked()
+}
+
+// HandleFreed processes the UR-delivery of a lease release: every request in
+// the message is dequeued from its class queues. A release arriving before
+// its request (possible because releases travel on the URB channel while
+// requests travel on the OAB channel) is buffered and applied at enqueue
+// time.
+func (m *Manager) HandleFreed(f *Freed) {
+	m.mu.Lock()
+	for _, id := range f.IDs {
+		m.applyFreedLocked(id)
+	}
+	m.afterChangeLocked()
+	newlyEnabled := m.enabledPayloadsLocked()
+	h := m.handler
+	m.mu.Unlock()
+
+	for _, req := range newlyEnabled {
+		h(req)
+	}
+}
+
+// HandleViewChange purges the lease requests of processes excluded from the
+// view (Algorithm 3): their leases die with them.
+// The fresh list names members readmitted through a state transfer this
+// view: their previous incarnation's requests are purged like a crashed
+// process's (the reborn process has no knowledge of them).
+func (m *Manager) HandleViewChange(members []transport.ID, fresh []transport.ID) {
+	in := make(map[transport.ID]bool, len(members))
+	for _, p := range members {
+		in[p] = true
+	}
+	reborn := make(map[transport.ID]bool, len(fresh))
+	for _, p := range fresh {
+		reborn[p] = true
+	}
+	m.mu.Lock()
+	m.inPrimary = true
+	m.earlyFreed = make(map[RequestID]bool)
+	for id, st := range m.reqs {
+		if !in[id.Proc] || (reborn[id.Proc] && id.Proc != m.self) {
+			m.dequeueLocked(st)
+			st.freed = true
+			delete(m.reqs, id)
+		}
+	}
+	m.afterChangeLocked()
+	newlyEnabled := m.enabledPayloadsLocked()
+	h := m.handler
+	m.mu.Unlock()
+
+	for _, req := range newlyEnabled {
+		h(req)
+	}
+}
+
+// HandleEjected marks the replica as outside the primary component: pending
+// acquisitions fail with ErrNotPrimary and new ones are refused until the
+// replica rejoins.
+func (m *Manager) HandleEjected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inPrimary = false
+	m.cond.Broadcast()
+}
+
+// --- Internal state transitions ----------------------------------------------
+
+// blockConflictingLocalLocked implements the fairness rule: once a remote
+// conflicting request is delivered, local requests on overlapping classes
+// stop admitting new transactions and are released as soon as they drain.
+func (m *Manager) blockConflictingLocalLocked(classes []ConflictClass, except *reqState) {
+	for _, st := range m.reqs {
+		if st == except {
+			continue
+		}
+		if st.local && !st.freed && (st.req.Wildcard || intersects(st.req.Classes, classes)) {
+			st.blocked = true
+		}
+	}
+}
+
+// blockAllLocalLocked is the wildcard's fairness rule: it conflicts with
+// every local request.
+func (m *Manager) blockAllLocalLocked(except *reqState) {
+	for _, st := range m.reqs {
+		if st != except && st.local && !st.freed {
+			st.blocked = true
+		}
+	}
+}
+
+// applyFreedLocked dequeues one released request, buffering early releases.
+func (m *Manager) applyFreedLocked(id RequestID) {
+	st := m.reqs[id]
+	if st == nil && id.Proc == m.self {
+		// A release of this replica's own request is applied locally before
+		// it is broadcast; if the state is already gone the request has
+		// been fully processed and garbage collected.
+		return
+	}
+	if st == nil || !st.enqueued {
+		m.earlyFreed[id] = true
+		return
+	}
+	if st.freed {
+		return
+	}
+	st.freed = true
+	m.dequeueLocked(st)
+	if !st.local {
+		delete(m.reqs, id)
+	} else {
+		m.gcLocked(st)
+	}
+}
+
+func (m *Manager) dequeueLocked(st *reqState) {
+	for _, cc := range st.req.Classes {
+		q := m.queues[cc]
+		for i, x := range q {
+			if x != st {
+				continue
+			}
+			m.queues[cc] = append(q[:i], q[i+1:]...)
+			if i == 0 && len(m.queues[cc]) > 0 {
+				// The next request now heads this class queue.
+				m.queues[cc][0].headCount++
+			}
+			break
+		}
+		if len(m.queues[cc]) == 0 {
+			delete(m.queues, cc)
+		}
+	}
+	st.headCount = 0
+}
+
+// afterChangeLocked runs the reactions to any queue change: releasing
+// drained blocked leases, waking waiters, and checking for deadlocks.
+func (m *Manager) afterChangeLocked() {
+	m.maybeFreeAllLocked()
+	if m.cfg.DeadlockDetection {
+		m.maybeDetectDeadlockLocked()
+	}
+	m.cond.Broadcast()
+}
+
+// maybeDetectDeadlockLocked gates the wait-for-graph scan: it is pointless
+// without a local waiting request, and a full scan per delivery would burn
+// CPU quadratically under load, so scans are paced.
+func (m *Manager) maybeDetectDeadlockLocked() {
+	waiting := false
+	for _, st := range m.reqs {
+		if st.local && st.enqueued && !st.freed && !st.aborted && !m.enabledLocked(st) {
+			waiting = true
+			break
+		}
+	}
+	if !waiting {
+		return
+	}
+	now := time.Now()
+	if now.Sub(m.lastDeadlockScan) < 10*time.Millisecond {
+		return
+	}
+	m.lastDeadlockScan = now
+	m.detectDeadlockLocked()
+}
+
+// maybeFreeAllLocked releases every local request that is blocked and has
+// drained (Algorithm 2's freeLocalLeases completion, generalized: a blocked
+// request is released as soon as it is enqueued with no associated
+// transactions, whether it was enabled at blocking time or became enabled
+// later — otherwise a queued-but-not-yet-enabled blocked request would
+// starve the remote requester behind it forever).
+func (m *Manager) maybeFreeAllLocked() {
+	var batch []RequestID
+	var freedStates []*reqState
+	for id, st := range m.reqs {
+		if st.local && st.enqueued && st.blocked && !st.freed && !st.aborted &&
+			!st.replacePending && st.active == 0 {
+			st.freed = true
+			m.dequeueLocked(st)
+			batch = append(batch, id)
+			freedStates = append(freedStates, st)
+		}
+	}
+	for _, st := range freedStates {
+		m.gcLocked(st)
+	}
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Seq < batch[j].Seq })
+	m.nFreed.Add(int64(len(batch)))
+	// The release is broadcast with the lock held to keep it ordered before
+	// any later release; the GCS broadcast call is non-blocking.
+	_ = m.bcast.URBroadcast(&Freed{IDs: batch})
+}
+
+// enabledPayloadsLocked collects the §4.5(c) payload callbacks for requests
+// that just became enabled after a release or purge.
+func (m *Manager) enabledPayloadsLocked() []*Request {
+	if m.handler == nil {
+		return nil
+	}
+	var out []*Request
+	for _, st := range m.reqs {
+		if st.freed || st.payloadDone || !st.enqueued {
+			continue
+		}
+		if m.enabledLocked(st) {
+			st.payloadDone = true
+			out = append(out, st.req)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.Proc != out[j].ID.Proc {
+			return out[i].ID.Proc < out[j].ID.Proc
+		}
+		return out[i].ID.Seq < out[j].ID.Seq
+	})
+	return out
+}
+
+// --- Deadlock detection (§4.4, the wait-for-graph alternative) ---------------
+
+// detectDeadlockLocked looks for cycles in the wait-for graph of the
+// enqueued requests. The §4.4 deadlock is a hold-and-wait cycle across
+// replicas: a request R waits (a) for every request ahead of it in its class
+// queues, and (b) — conservatively — an enabled request is treated as held
+// until its owner's other, waiting requests are served (the owner may be
+// holding it on behalf of a transaction that is re-executing under a new
+// request). If a cycle's deterministic victim is a local waiting request, it
+// is voluntarily released — an owner may always free its own requests, so no
+// cross-replica agreement on the detection is needed.
+func (m *Manager) detectDeadlockLocked() {
+	// Queue edges: a request waits for every request ahead of it.
+	waitsFor := make(map[*reqState][]*reqState)
+	var waiting []*reqState
+	for _, q := range m.queues {
+		for i := 1; i < len(q); i++ {
+			waitsFor[q[i]] = append(waitsFor[q[i]], q[:i]...)
+		}
+	}
+	// Owner-coupling edges: an enabled request held by active transactions
+	// is released only after its owner's waiting requests make progress.
+	// Local holds are gated precisely on active>0; for remote enabled
+	// requests the hold state is unknown, so the edge is conservative —
+	// which is why a cycle must PERSIST before it is trusted (transient
+	// lease-rotation queues form phantom cycles that dissolve within
+	// milliseconds, a genuine hold-and-wait does not).
+	var enabled []*reqState
+	for _, st := range m.reqs {
+		if st.freed || st.aborted || !st.enqueued {
+			continue
+		}
+		if m.enabledLocked(st) {
+			enabled = append(enabled, st)
+		} else {
+			waiting = append(waiting, st)
+		}
+	}
+	for _, e := range enabled {
+		if e.local && e.active == 0 {
+			continue // a drained local hold releases on its own
+		}
+		for _, w := range waiting {
+			if e != w && e.req.ID.Proc == w.req.ID.Proc {
+				waitsFor[e] = append(waitsFor[e], w)
+			}
+		}
+	}
+
+	now := time.Now()
+	for _, st := range waiting {
+		if !st.local {
+			continue
+		}
+		cycle := findCycle(st, waitsFor)
+		if cycle == nil {
+			st.cycleSince = time.Time{}
+			continue
+		}
+		// Deterministic victim: the waiting request with the largest
+		// (Proc, Seq). Enabled requests cannot be victims — they may have
+		// transactions committing under them.
+		var victim *reqState
+		for _, c := range cycle {
+			if m.enabledLocked(c) {
+				continue
+			}
+			if victim == nil ||
+				c.req.ID.Proc > victim.req.ID.Proc ||
+				(c.req.ID.Proc == victim.req.ID.Proc && c.req.ID.Seq > victim.req.ID.Seq) {
+				victim = c
+			}
+		}
+		if victim != st {
+			continue // the victim's owner will yield
+		}
+		if st.cycleSince.IsZero() {
+			st.cycleSince = now
+			continue
+		}
+		if now.Sub(st.cycleSince) < _deadlockPatience {
+			continue
+		}
+		st.aborted = true
+		st.freed = true
+		m.dequeueLocked(st)
+		m.nDeadlocks.Inc()
+		_ = m.bcast.URBroadcast(&Freed{IDs: []RequestID{st.req.ID}})
+	}
+}
+
+// _deadlockPatience is how long a cycle must persist before its victim
+// yields. Genuine deadlocks are permanent; rotation artifacts dissolve as
+// releases arrive.
+const _deadlockPatience = 100 * time.Millisecond
+
+// findCycle returns a cycle through start in the wait-for graph, or nil.
+func findCycle(start *reqState, waitsFor map[*reqState][]*reqState) []*reqState {
+	var (
+		stack   []*reqState
+		onPath  = make(map[*reqState]bool)
+		visited = make(map[*reqState]bool)
+		found   []*reqState
+	)
+	var dfs func(n *reqState) bool
+	dfs = func(n *reqState) bool {
+		if onPath[n] {
+			if n == start {
+				found = append([]*reqState(nil), stack...)
+				return true
+			}
+			return false
+		}
+		if visited[n] {
+			return false
+		}
+		visited[n] = true
+		onPath[n] = true
+		stack = append(stack, n)
+		for _, next := range waitsFor[n] {
+			if dfs(next) {
+				return true
+			}
+		}
+		stack = stack[:len(stack)-1]
+		onPath[n] = false
+		return false
+	}
+	if dfs(start) {
+		return found
+	}
+	return nil
+}

@@ -1,0 +1,514 @@
+// Package lease implements the Asynchronous Lease Manager, the core of the
+// ALC protocol (§4.2–§4.4 of the paper).
+//
+// A lease grants a replica temporary exclusive rights over a set of conflict
+// classes. Unlike classic leases, asynchronous leases are detached from time:
+// once established, a lease is held until a conflicting request from another
+// replica arrives (lease retention), and the mutual exclusion is driven
+// purely by the totally ordered delivery of lease requests, making the
+// scheme implementable in any system where atomic broadcast is.
+//
+// Lease requests are disseminated via Optimistic Atomic Broadcast and
+// enqueued at every replica, per conflict class, in the TO-delivery order —
+// a replicated FIFO lock table (CQ). A request is enabled (the lease is
+// held) when it heads every queue of its classes. Lease releases travel via
+// causally ordered Uniform Reliable Broadcast and dequeue the released
+// requests everywhere; because every pair of conflicting requests is ordered
+// identically at all replicas and releases are causally ordered with the
+// write-sets committed under them, conflicting transactions certify in the
+// same relative order cluster-wide (§4.3).
+//
+// Fairness: as soon as a conflicting remote request is delivered, the local
+// conflicting requests become blocked — new transactions can no longer be
+// associated with them — so a remote requester cannot starve (§4.2). With
+// the optimistic-delivery optimization (§4.5, Algorithm 4) the blocking and
+// the release are triggered already at Opt-delivery, fully overlapping the
+// lease transfer with the request's total-ordering.
+//
+// Deadlocks from transactions that change their data-set across re-executions
+// (§4.4) are handled two ways: a deadlock-avoidance piggyback (the
+// replacement request atomically frees the previously held lease in the same
+// totally ordered step), and an optional conservative local wait-for-graph
+// detector whose victims voluntarily release their own requests — always
+// safe, since an owner may free its own lease at any time.
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/alcstm/alc/internal/metrics"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Errors returned by GetLease.
+var (
+	// ErrNotPrimary is returned when the replica has been ejected from the
+	// primary component: no new leases can be established (the paper's ⊥).
+	ErrNotPrimary = errors.New("lease: not in primary component")
+	// ErrDeadlock is returned when the local request was chosen as a
+	// deadlock victim and must be retried.
+	ErrDeadlock = errors.New("lease: deadlock victim, retry")
+	// ErrStopped is returned after Close.
+	ErrStopped = errors.New("lease: manager stopped")
+)
+
+// RequestID uniquely identifies a lease request: issuing process and a
+// process-local sequence number.
+type RequestID struct {
+	Proc transport.ID
+	Seq  uint64
+}
+
+func (id RequestID) String() string { return fmt.Sprintf("lease(%d:%d)", id.Proc, id.Seq) }
+
+// Request is the OA-broadcast lease request (wire type).
+type Request struct {
+	ID      RequestID
+	Classes []ConflictClass
+	// Wildcard requests a lease on the whole set of conflict classes
+	// (§4.4's deterministic fallback): it conflicts with every request.
+	Wildcard bool
+	// FreeFirst carries piggybacked releases (§4.4 deadlock avoidance): at
+	// TO-delivery these requests are dequeued before this one is enqueued,
+	// making the lease replacement atomic in the total order.
+	FreeFirst []RequestID
+	// Payload is an opaque replication-manager attachment (§4.5
+	// optimization (c): the transaction's read- and write-set piggybacked
+	// on the lease request).
+	Payload any
+}
+
+// Freed is the UR-broadcast lease release (wire type).
+type Freed struct {
+	IDs []RequestID
+}
+
+// Broadcaster is the slice of the GCS the lease manager sends through.
+type Broadcaster interface {
+	OABroadcast(body any) error
+	URBroadcast(body any) error
+}
+
+// Config parametrizes a Manager.
+type Config struct {
+	// Mapper maps data items to conflict classes.
+	Mapper Mapper
+	// OptimisticFree enables the §4.5 optimization (b): conflicting local
+	// leases are released already at the Opt-delivery of a remote request,
+	// overlapping the release with the request's final ordering.
+	OptimisticFree bool
+	// DeadlockDetection enables the conservative local wait-for-graph
+	// detector (§4.4). Victims release their own requests and retry.
+	DeadlockDetection bool
+}
+
+// Stats exposes lease-manager counters.
+type Stats struct {
+	Requested int64 // lease requests OA-broadcast
+	Reused    int64 // transactions served by an already-held lease
+	Freed     int64 // lease requests released by this replica
+	Deadlocks int64 // local deadlock victims
+}
+
+// reqState is a lease request's replicated queue state plus (for local
+// requests) the owner-side bookkeeping.
+type reqState struct {
+	req      *Request
+	local    bool
+	enqueued bool // TO-delivered and present in the class queues
+	blocked  bool // no new transactions may join (fairness, §4.2)
+	freed    bool // released (dequeued) or release broadcast pending
+	aborted  bool // deadlock victim
+	active   int  // owner-side: transactions currently associated
+	// replacePending marks a local request whose release is piggybacked on
+	// an in-flight replacement request (§4.4): the ordinary drain-release
+	// path must not race with the piggybacked one.
+	replacePending bool
+	// payloadDone marks that the §4.5(c) enabled-payload callback has fired.
+	payloadDone bool
+	// cycleSince is when this waiting request was first observed inside a
+	// wait-for cycle (deadlock detection's persistence gate).
+	cycleSince time.Time
+	// pos is the request's position in the enqueue (TO-delivery) order —
+	// identical at every replica — used to order wildcard requests against
+	// everything else.
+	pos uint64
+	// headCount is the number of this request's class queues it currently
+	// heads; the request is enabled when headCount equals its class count
+	// (incrementally maintained so enablement checks are O(1) even for
+	// requests spanning thousands of classes).
+	headCount int
+}
+
+// Manager is one replica's Lease Manager.
+type Manager struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	self    transport.ID
+	cfg     Config
+	bcast   Broadcaster
+	handler PayloadHandler
+
+	queues           map[ConflictClass][]*reqState
+	reqs             map[RequestID]*reqState
+	earlyFreed       map[RequestID]bool // releases delivered before their request
+	nextSeq          uint64
+	enqueueSeq       uint64 // TO-delivery order counter (replica-consistent)
+	inPrimary        bool
+	stopped          bool
+	lastDeadlockScan time.Time
+
+	nRequested metrics.Counter
+	nReused    metrics.Counter
+	nFreed     metrics.Counter
+	nDeadlocks metrics.Counter
+}
+
+// PayloadHandler, when set, receives each TO-delivered request's piggybacked
+// payload at the moment the request becomes enabled (§4.5 optimization (c)).
+// Called with the manager's lock released.
+type PayloadHandler func(req *Request)
+
+// NewManager creates a lease manager for process self.
+func NewManager(self transport.ID, bcast Broadcaster, cfg Config) *Manager {
+	m := &Manager{
+		self:       self,
+		cfg:        cfg,
+		bcast:      bcast,
+		queues:     make(map[ConflictClass][]*reqState),
+		reqs:       make(map[RequestID]*reqState),
+		earlyFreed: make(map[RequestID]bool),
+		inPrimary:  true,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// SetPayloadHandler installs the enabled-request payload callback.
+func (m *Manager) SetPayloadHandler(h PayloadHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handler = h
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Requested: m.nRequested.Value(),
+		Reused:    m.nReused.Value(),
+		Freed:     m.nFreed.Value(),
+		Deadlocks: m.nDeadlocks.Value(),
+	}
+}
+
+// Close releases every waiter with ErrStopped.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+	m.cond.Broadcast()
+}
+
+// --- Acquisition (application side) ------------------------------------------
+
+// GetLease establishes a lease on the conflict classes of the given data
+// items, blocking until the lease is held. It implements the paper's
+// getLease: an existing unblocked local request covering the classes is
+// reused without any communication (lease retention); otherwise a new
+// request is OA-broadcast and the call waits for it to reach the head of
+// every class queue. Returns the request ID to pass to Finished, or
+// ErrNotPrimary (the paper's ⊥), ErrDeadlock, or ErrStopped.
+func (m *Manager) GetLease(dataSet []string) (RequestID, error) {
+	return m.getLease(dataSet, nil, RequestID{})
+}
+
+// GetLeaseReplacing is GetLease with the §4.4 deadlock-avoidance piggyback:
+// the previously held request old is released atomically (in the total
+// order) right before the new request is enqueued. The caller must be the
+// only transaction associated with old.
+func (m *Manager) GetLeaseReplacing(dataSet []string, old RequestID) (RequestID, error) {
+	return m.getLease(dataSet, []RequestID{old}, old)
+}
+
+func (m *Manager) getLease(dataSet []string, freeFirst []RequestID, old RequestID) (RequestID, error) {
+	classes := m.cfg.Mapper.Classes(dataSet)
+
+	m.mu.Lock()
+	if err := m.usableLocked(); err != nil {
+		m.mu.Unlock()
+		return RequestID{}, err
+	}
+
+	if old != (RequestID{}) {
+		if st := m.reqs[old]; st != nil && st.local {
+			// The replacement transfers this transaction's association to
+			// the new request; mark the old one unusable for reuse and
+			// reserve its release for the piggyback.
+			st.active--
+			st.blocked = true
+			st.replacePending = true
+		}
+	}
+
+	// Reuse: a local request that is not blocked, not released, and whose
+	// classes cover the requested ones can admit another transaction with
+	// zero communication.
+	if len(freeFirst) == 0 {
+		for _, st := range m.reqs {
+			if st.local && !st.blocked && !st.freed && !st.aborted &&
+				(st.req.Wildcard || subset(classes, st.req.Classes)) {
+				st.active++
+				m.nReused.Inc()
+				id := st.req.ID
+				err := m.waitEnabledLocked(st)
+				if err != nil {
+					m.releaseWaiterLocked(st)
+				}
+				m.mu.Unlock()
+				return id, err
+			}
+		}
+	}
+
+	m.nextSeq++
+	req := &Request{
+		ID:        RequestID{Proc: m.self, Seq: m.nextSeq},
+		Classes:   classes,
+		FreeFirst: freeFirst,
+	}
+	st := &reqState{req: req, local: true, active: 1}
+	m.reqs[req.ID] = st
+	m.nRequested.Inc()
+	m.mu.Unlock()
+
+	if err := m.bcast.OABroadcast(req); err != nil {
+		m.mu.Lock()
+		delete(m.reqs, req.ID)
+		if old != (RequestID{}) {
+			// The piggybacked release never left: let the old request
+			// drain-release through the ordinary path.
+			if st := m.reqs[old]; st != nil && st.local {
+				st.replacePending = false
+				m.maybeFreeAllLocked()
+			}
+		}
+		m.mu.Unlock()
+		return RequestID{}, fmt.Errorf("lease: broadcast request: %w", err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.waitEnabledLocked(st); err != nil {
+		m.releaseWaiterLocked(st)
+		return RequestID{}, err
+	}
+	return req.ID, nil
+}
+
+// releaseWaiterLocked undoes a failed acquisition: the caller's transaction
+// will not run under the request.
+func (m *Manager) releaseWaiterLocked(st *reqState) {
+	if st.active > 0 {
+		st.active--
+	}
+	m.maybeFreeAllLocked()
+	m.gcLocked(st)
+}
+
+// gcLocked drops a local request that is released and fully drained.
+func (m *Manager) gcLocked(st *reqState) {
+	if st.local && st.freed && st.active == 0 {
+		delete(m.reqs, st.req.ID)
+	}
+}
+
+// waitEnabledLocked blocks until st is enabled, the replica leaves the
+// primary component, or st is aborted as a deadlock victim.
+func (m *Manager) waitEnabledLocked(st *reqState) error {
+	if m.cfg.DeadlockDetection {
+		// Deadlock scans are event-gated; a cycle completed during a quiet
+		// period would otherwise go unnoticed, so each waiter pokes the
+		// detector periodically.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(25 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					m.mu.Lock()
+					m.detectDeadlockLocked()
+					m.cond.Broadcast()
+					m.mu.Unlock()
+				}
+			}
+		}()
+	}
+	for {
+		switch {
+		case m.stopped:
+			return ErrStopped
+		case !m.inPrimary:
+			return ErrNotPrimary
+		case st.aborted:
+			return ErrDeadlock
+		case st.freed:
+			// Released while waiting (view change or replacement race).
+			return ErrDeadlock
+		case st.enqueued && m.enabledLocked(st):
+			return nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// TryReuse attempts a zero-communication acquisition: if this replica holds
+// an enabled, unblocked, unreleased request covering the data set, the
+// transaction is associated with it immediately (the lease-retention fast
+// path). Non-blocking: returns false when no such request exists.
+func (m *Manager) TryReuse(dataSet []string) (RequestID, bool) {
+	classes := m.cfg.Mapper.Classes(dataSet)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.usableLocked() != nil {
+		return RequestID{}, false
+	}
+	for _, st := range m.reqs {
+		if st.local && st.enqueued && !st.blocked && !st.freed && !st.aborted &&
+			(st.req.Wildcard || subset(classes, st.req.Classes)) && m.enabledLocked(st) {
+			st.active++
+			m.nReused.Inc()
+			return st.req.ID, true
+		}
+	}
+	return RequestID{}, false
+}
+
+// HasCoverage reports whether any local request — enabled, queued, or still
+// in flight — could serve the data set (unblocked, unreleased, covering).
+// The Replication Manager uses it to decide between joining an existing
+// acquisition (GetLease's reuse path, which waits for enablement) and
+// issuing a fresh §4.5(c) payload request: issuing a new request while a
+// covering one is pending would block the older one (the fairness rule) and
+// defeat lease retention under concurrent local threads.
+func (m *Manager) HasCoverage(dataSet []string) bool {
+	classes := m.cfg.Mapper.Classes(dataSet)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.reqs {
+		if st.local && !st.blocked && !st.freed && !st.aborted &&
+			(st.req.Wildcard || subset(classes, st.req.Classes)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether the given held lease request still covers the data
+// set: used by the Replication Manager when a transaction re-executes, to
+// decide between retaining the lease (same classes, §4's at-most-one-abort
+// guarantee) and replacing it (§4.4).
+func (m *Manager) Covers(id RequestID, dataSet []string) bool {
+	classes := m.cfg.Mapper.Classes(dataSet)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.reqs[id]
+	return st != nil && st.local && !st.freed && !st.aborted &&
+		(st.req.Wildcard || subset(classes, st.req.Classes))
+}
+
+// ActiveCount returns the number of transactions associated with a local
+// request (1 means the caller is alone and replacement is safe).
+func (m *Manager) ActiveCount(id RequestID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st := m.reqs[id]; st != nil {
+		return st.active
+	}
+	return 0
+}
+
+// Finished implements the paper's finishedXact: it dissociates one
+// transaction from the lease request. The lease itself is retained until a
+// conflicting remote request blocks it (asynchronous lease semantics).
+func (m *Manager) Finished(id RequestID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.reqs[id]
+	if st == nil || !st.local {
+		return
+	}
+	if st.active > 0 {
+		st.active--
+	}
+	m.maybeFreeAllLocked()
+	m.gcLocked(st)
+}
+
+func (m *Manager) usableLocked() error {
+	if m.stopped {
+		return ErrStopped
+	}
+	if !m.inPrimary {
+		return ErrNotPrimary
+	}
+	return nil
+}
+
+// enabledLocked implements isEnabled: the request heads every queue of its
+// classes (a wildcard request must be older than every other live request,
+// and no live wildcard may precede a normal request).
+func (m *Manager) enabledLocked(st *reqState) bool {
+	if st.req.Wildcard {
+		return m.wildcardEnabledLocked(st)
+	}
+	return st.enqueued && st.headCount == len(st.req.Classes) &&
+		!m.blockedByWildcardLocked(st)
+}
+
+// GetLeaseWithPayload acquires a fresh lease request carrying an opaque
+// replication-manager payload (§4.5 optimization (c): the transaction's
+// read- and write-set ride on the lease request, and every replica certifies
+// the transaction the moment the lease is established). Payload requests are
+// never satisfied by reuse: the payload must travel.
+func (m *Manager) GetLeaseWithPayload(dataSet []string, payload any) (RequestID, error) {
+	classes := m.cfg.Mapper.Classes(dataSet)
+
+	m.mu.Lock()
+	if err := m.usableLocked(); err != nil {
+		m.mu.Unlock()
+		return RequestID{}, err
+	}
+	m.nextSeq++
+	req := &Request{
+		ID:      RequestID{Proc: m.self, Seq: m.nextSeq},
+		Classes: classes,
+		Payload: payload,
+	}
+	st := &reqState{req: req, local: true, active: 1}
+	m.reqs[req.ID] = st
+	m.nRequested.Inc()
+	m.mu.Unlock()
+
+	if err := m.bcast.OABroadcast(req); err != nil {
+		m.mu.Lock()
+		delete(m.reqs, req.ID)
+		m.mu.Unlock()
+		return RequestID{}, fmt.Errorf("lease: broadcast payload request: %w", err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.waitEnabledLocked(st); err != nil {
+		m.releaseWaiterLocked(st)
+		return RequestID{}, err
+	}
+	return req.ID, nil
+}

@@ -1,0 +1,158 @@
+package lease
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is the serializable lease-table state used for state transfer when a
+// replica joins or rejoins the group: the set of enqueued lease requests and
+// the per-class queue orders. Owner-local bookkeeping (active transaction
+// counts, blocked flags) is not part of the replicated state.
+type State struct {
+	Requests []*Request
+	Queues   map[ConflictClass][]RequestID
+	// Pos carries each request's enqueue-order position (parallel to
+	// Requests); wildcard ordering depends on it.
+	Pos []uint64
+	// NextPos seeds the joiner's enqueue counter.
+	NextPos uint64
+}
+
+// SnapshotState captures the replicated lease-table state. It is called by
+// the GCS on the view coordinator while computing a state transfer.
+func (m *Manager) SnapshotState() *State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	st := &State{Queues: make(map[ConflictClass][]RequestID, len(m.queues)), NextPos: m.enqueueSeq}
+	seen := make(map[RequestID]bool)
+	add := func(rs *reqState) {
+		if !seen[rs.req.ID] {
+			seen[rs.req.ID] = true
+			st.Requests = append(st.Requests, rs.req)
+		}
+	}
+	for cc, q := range m.queues {
+		ids := make([]RequestID, len(q))
+		for i, rs := range q {
+			ids[i] = rs.req.ID
+			add(rs)
+		}
+		st.Queues[cc] = ids
+	}
+	// Wildcard requests live outside the class queues.
+	for _, rs := range m.reqs {
+		if rs.enqueued && !rs.freed && rs.req.Wildcard {
+			add(rs)
+		}
+	}
+	sort.Slice(st.Requests, func(i, j int) bool {
+		a, b := st.Requests[i].ID, st.Requests[j].ID
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Seq < b.Seq
+	})
+	st.Pos = make([]uint64, len(st.Requests))
+	for i, req := range st.Requests {
+		st.Pos[i] = m.reqs[req.ID].pos
+	}
+	return st
+}
+
+// InstallState replaces the lease table with a transferred snapshot. Called
+// on a joining replica before its first view change; the replica must not
+// have any in-flight acquisitions.
+func (m *Manager) InstallState(st *State) {
+	if st == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	m.queues = make(map[ConflictClass][]*reqState, len(st.Queues))
+	m.reqs = make(map[RequestID]*reqState, len(st.Requests))
+	m.earlyFreed = make(map[RequestID]bool)
+	m.enqueueSeq = st.NextPos
+	for i, req := range st.Requests {
+		rs := &reqState{
+			req:      req,
+			local:    req.ID.Proc == m.self,
+			enqueued: true,
+			// A transferred request has unknown payload-delivery status at
+			// its owner; the joiner never re-fires payload callbacks for
+			// pre-existing requests.
+			payloadDone: true,
+		}
+		if i < len(st.Pos) {
+			rs.pos = st.Pos[i]
+		}
+		m.reqs[req.ID] = rs
+	}
+	for cc, ids := range st.Queues {
+		q := make([]*reqState, 0, len(ids))
+		for _, id := range ids {
+			if rs, ok := m.reqs[id]; ok {
+				q = append(q, rs)
+			}
+		}
+		if len(q) > 0 {
+			q[0].headCount++
+		}
+		m.queues[cc] = q
+	}
+	m.cond.Broadcast()
+}
+
+// QueueDepth returns the number of requests enqueued for the conflict
+// classes of the given data items (diagnostics).
+func (m *Manager) QueueDepth(dataSet []string) int {
+	classes := m.cfg.Mapper.Classes(dataSet)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	depth := 0
+	for _, cc := range classes {
+		depth += len(m.queues[cc])
+	}
+	return depth
+}
+
+// HoldsLease reports whether this replica currently has an enabled,
+// unreleased local request covering the data set (diagnostics and tests).
+func (m *Manager) HoldsLease(dataSet []string) bool {
+	classes := m.cfg.Mapper.Classes(dataSet)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.reqs {
+		if st.local && !st.freed && !st.aborted && st.enqueued &&
+			(st.req.Wildcard || subset(classes, st.req.Classes)) && m.enabledLocked(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// DumpState renders the lease table for diagnostics.
+func (m *Manager) DumpState() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := fmt.Sprintf("LM[%d] inPrimary=%t reqs=%d earlyFreed=%d\n", m.self, m.inPrimary, len(m.reqs), len(m.earlyFreed))
+	ids := make([]RequestID, 0, len(m.reqs))
+	for id := range m.reqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Proc != ids[j].Proc {
+			return ids[i].Proc < ids[j].Proc
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
+	for _, id := range ids {
+		st := m.reqs[id]
+		out += fmt.Sprintf("  %v local=%t enq=%t blocked=%t freed=%t aborted=%t active=%d replace=%t enabled=%t classes=%d\n",
+			id, st.local, st.enqueued, st.blocked, st.freed, st.aborted, st.active, st.replacePending,
+			st.enqueued && !st.freed && m.enabledLocked(st), len(st.req.Classes))
+	}
+	return out
+}

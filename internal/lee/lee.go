@@ -1,0 +1,236 @@
+// Package lee implements a transactional version of Lee's circuit-routing
+// algorithm, reproducing the Lee-TM benchmark (Ansari et al., ICA3PP 2008)
+// that §5 of the paper evaluates (Figure 4).
+//
+// The routing grid is a two-layer board whose cells live in the replicated
+// STM, one box per cell. Routing one net is one transaction: a breadth-first
+// expansion from the source reads every visited cell (building a large
+// read-set), and the backtrace writes the chosen path (the write-set). The
+// workload is exactly what makes Lee-TM interesting for replication studies:
+// extremely heterogeneous transaction lengths — a few cells for short nets,
+// thousands for long ones — and re-executions that may take different paths
+// (different data-sets), exercising the §4.4 deadlock-avoidance machinery.
+// Under an unbounded-abort protocol (CERT) the long transactions are
+// repeatedly killed by streams of short ones; under ALC the retained lease
+// shelters them after the first abort.
+package lee
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/alcstm/alc/internal/stm"
+)
+
+// Cell contents.
+const (
+	// Free marks an unoccupied routable cell.
+	Free = 0
+	// Obstacle marks an unroutable cell.
+	Obstacle = -1
+)
+
+// ErrUnroutable is returned by a routing transaction when no path exists in
+// the transaction's snapshot. The transaction writes nothing.
+var ErrUnroutable = errors.New("lee: no route found")
+
+// Point is a 2D board coordinate.
+type Point struct {
+	X, Y int
+}
+
+// Net is one two-pin connection to route.
+type Net struct {
+	ID       int
+	Src, Dst Point
+}
+
+// Dist returns the net's Manhattan length.
+func (n Net) Dist() int { return abs(n.Src.X-n.Dst.X) + abs(n.Src.Y-n.Dst.Y) }
+
+// Board is a routing problem: a W×H grid with Layers layers, a set of
+// obstacles and a netlist.
+type Board struct {
+	W, H, Layers int
+	Obstacles    []Point // present on all layers
+	Nets         []Net
+	// BBoxMargin restricts each route's expansion to the net's bounding
+	// box plus this margin (Lee-TM's classic pruning). Zero selects the
+	// default of 6 cells.
+	BBoxMargin int
+	// WorkPerRead models the per-cell expansion cost of the original
+	// (Java) Lee-TM implementation, whose transactions ran from
+	// milliseconds to seconds. The routing transaction consumes
+	// CellsRead×WorkPerRead of compute time, recreating the heterogeneous
+	// transaction durations that §5's Figure 4 exploits: without it, even
+	// board-spanning routes finish in microseconds and the
+	// repeated-abortion pathology of certification never develops.
+	WorkPerRead time.Duration
+}
+
+// CellID is the box identifier of one grid cell.
+func CellID(layer, y, x int) string {
+	return fmt.Sprintf("cell:%d:%d:%d", layer, y, x)
+}
+
+// NumCells returns the number of grid cells.
+func (b *Board) NumCells() int { return b.W * b.H * b.Layers }
+
+// Seed returns the initial store content: all cells free, obstacles marked.
+func (b *Board) Seed() map[string]stm.Value {
+	seed := make(map[string]stm.Value, b.NumCells())
+	for z := 0; z < b.Layers; z++ {
+		for y := 0; y < b.H; y++ {
+			for x := 0; x < b.W; x++ {
+				seed[CellID(z, y, x)] = Free
+			}
+		}
+	}
+	for _, o := range b.Obstacles {
+		for z := 0; z < b.Layers; z++ {
+			seed[CellID(z, o.Y, o.X)] = Obstacle
+		}
+	}
+	return seed
+}
+
+// GenConfig parametrizes the synthetic board generator.
+type GenConfig struct {
+	// W, H are the grid dimensions. Defaults 64×64.
+	W, H int
+	// Layers is the number of routing layers. Default 2.
+	Layers int
+	// Nets is the number of connections. Default 64.
+	Nets int
+	// ObstacleFrac is the fraction of cells blocked. Default 0.02.
+	ObstacleFrac float64
+	// LongFrac is the fraction of deliberately long nets (spanning most of
+	// the board), mimicking the mainboard circuit's heterogeneous mix of
+	// short and long connections. Default 0.2.
+	LongFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c *GenConfig) fillDefaults() {
+	if c.W <= 0 {
+		c.W = 64
+	}
+	if c.H <= 0 {
+		c.H = 64
+	}
+	if c.Layers <= 0 {
+		c.Layers = 2
+	}
+	if c.Nets <= 0 {
+		c.Nets = 64
+	}
+	if c.ObstacleFrac < 0 {
+		c.ObstacleFrac = 0
+	} else if c.ObstacleFrac == 0 {
+		c.ObstacleFrac = 0.02
+	}
+	if c.LongFrac <= 0 {
+		c.LongFrac = 0.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Generate builds a synthetic board: a mix of mostly short nets and a tail
+// of long ones, with distinct pins and scattered obstacles.
+func Generate(cfg GenConfig) *Board {
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &Board{W: cfg.W, H: cfg.H, Layers: cfg.Layers}
+
+	used := make(map[Point]bool)
+	pick := func() (Point, bool) {
+		for tries := 0; tries < 1000; tries++ {
+			p := Point{X: rng.Intn(cfg.W), Y: rng.Intn(cfg.H)}
+			if !used[p] {
+				return p, true
+			}
+		}
+		return Point{}, false
+	}
+	pickNear := func(src Point, maxDist int) (Point, bool) {
+		for tries := 0; tries < 1000; tries++ {
+			dx := rng.Intn(2*maxDist+1) - maxDist
+			dy := rng.Intn(2*maxDist+1) - maxDist
+			p := Point{X: src.X + dx, Y: src.Y + dy}
+			if p.X < 0 || p.X >= cfg.W || p.Y < 0 || p.Y >= cfg.H {
+				continue
+			}
+			if p != src && !used[p] && abs(dx)+abs(dy) >= 2 {
+				return p, true
+			}
+		}
+		return Point{}, false
+	}
+
+	// Long nets form a bus: near-parallel board-spanning traces on spread
+	// rows, the structure of a real mainboard. They rarely conflict with
+	// each other (disjoint corridors) but cross the territory of many
+	// short nets — exactly the heterogeneity Figure 4 exploits.
+	nLong := int(float64(cfg.Nets) * cfg.LongFrac)
+	margin := cfg.W / 8
+	if margin < 1 {
+		margin = 1
+	}
+	busRows := make([]int, 0, nLong)
+	for y := 1; y < cfg.H-1 && len(busRows) < nLong; y += max(2, (cfg.H-2)/max(1, nLong)) {
+		busRows = append(busRows, y)
+	}
+	id := 1
+	for _, y := range busRows {
+		src := Point{X: margin, Y: y}
+		dst := Point{X: cfg.W - 1 - margin, Y: y}
+		if used[src] || used[dst] {
+			continue
+		}
+		used[src], used[dst] = true, true
+		b.Nets = append(b.Nets, Net{ID: id, Src: src, Dst: dst})
+		id++
+	}
+
+	for len(b.Nets) < cfg.Nets {
+		src, ok := pick()
+		if !ok {
+			break
+		}
+		dst, ok := pickNear(src, 3+rng.Intn(6)) // short: a few cells away
+		if !ok {
+			continue
+		}
+		used[src], used[dst] = true, true
+		b.Nets = append(b.Nets, Net{ID: id, Src: src, Dst: dst})
+		id++
+	}
+
+	// Interleave long and short nets deterministically so every phase of
+	// the run mixes transaction lengths (the original benchmark's sorted
+	// order empties its short-net stream before the long ones start).
+	rng.Shuffle(len(b.Nets), func(i, j int) { b.Nets[i], b.Nets[j] = b.Nets[j], b.Nets[i] })
+
+	// Obstacles avoid pins.
+	nObst := int(float64(cfg.W*cfg.H) * cfg.ObstacleFrac)
+	for i := 0; i < nObst; i++ {
+		p := Point{X: rng.Intn(cfg.W), Y: rng.Intn(cfg.H)}
+		if !used[p] {
+			used[p] = true
+			b.Obstacles = append(b.Obstacles, p)
+		}
+	}
+	return b
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

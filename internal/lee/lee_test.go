@@ -1,0 +1,260 @@
+package lee
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/alcstm/alc/internal/stm"
+)
+
+func seededStore(t *testing.T, b *Board) *stm.Store {
+	t.Helper()
+	s := stm.NewStore()
+	for id, v := range b.Seed() {
+		if _, err := s.CreateBox(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func routeOne(t *testing.T, s *stm.Store, b *Board, net Net, seq uint64) (*RouteResult, error) {
+	t.Helper()
+	var res RouteResult
+	tx := s.Begin(false)
+	if err := b.RouteTxn(net, &res)(tx); err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(stm.TxnID{Replica: 1, Seq: seq}); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+func TestRouteStraightLine(t *testing.T) {
+	b := &Board{W: 10, H: 10, Layers: 1}
+	s := seededStore(t, b)
+
+	net := Net{ID: 1, Src: Point{0, 5}, Dst: Point{9, 5}}
+	res, err := routeOne(t, s, b, net, 1)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	if res.Len() != 10 {
+		t.Fatalf("path length = %d, want 10 (straight line)", res.Len())
+	}
+
+	// The path is written to the grid.
+	tx := s.Begin(true)
+	defer tx.Abort()
+	for x := 0; x < 10; x++ {
+		v, err := tx.Read(CellID(0, 5, x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 1 {
+			t.Fatalf("cell (0,5,%d) = %v, want net 1", x, v)
+		}
+	}
+}
+
+func TestRouteAroundObstacleWall(t *testing.T) {
+	// The detour leaves the default bounding box; widen it.
+	b := &Board{W: 10, H: 10, Layers: 1, BBoxMargin: 12}
+	// Vertical wall at x=5 with a gap at y=9.
+	for y := 0; y < 9; y++ {
+		b.Obstacles = append(b.Obstacles, Point{X: 5, Y: y})
+	}
+	s := seededStore(t, b)
+
+	net := Net{ID: 1, Src: Point{0, 0}, Dst: Point{9, 0}}
+	res, err := routeOne(t, s, b, net, 1)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	// Detour through the gap: 10 straight + 2*9 vertical detour.
+	if res.Len() != 28 {
+		t.Fatalf("path length = %d, want 28 (detour through gap)", res.Len())
+	}
+}
+
+func TestRouteUnroutable(t *testing.T) {
+	b := &Board{W: 10, H: 10, Layers: 1}
+	// Box the source in completely.
+	for _, o := range []Point{{1, 0}, {0, 1}, {1, 1}} {
+		b.Obstacles = append(b.Obstacles, o)
+	}
+	s := seededStore(t, b)
+
+	net := Net{ID: 1, Src: Point{0, 0}, Dst: Point{9, 9}}
+	_, err := routeOne(t, s, b, net, 1)
+	if !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("route = %v, want ErrUnroutable", err)
+	}
+
+	// Nothing was written.
+	tx := s.Begin(true)
+	defer tx.Abort()
+	v, err := tx.Read(CellID(0, 9, 9))
+	if err != nil || v != Free {
+		t.Fatalf("cell written by failed route: %v %v", v, err)
+	}
+}
+
+func TestSecondLayerEnablesCrossing(t *testing.T) {
+	b := &Board{W: 9, H: 9, Layers: 2}
+	s := seededStore(t, b)
+
+	// Net 1: horizontal through the middle.
+	h := Net{ID: 1, Src: Point{0, 4}, Dst: Point{8, 4}}
+	if _, err := routeOne(t, s, b, h, 1); err != nil {
+		t.Fatalf("horizontal: %v", err)
+	}
+	// Net 2: vertical through the middle — must cross net 1 using layer 1.
+	v := Net{ID: 2, Src: Point{4, 0}, Dst: Point{4, 8}}
+	res, err := routeOne(t, s, b, v, 2)
+	if err != nil {
+		t.Fatalf("vertical: %v", err)
+	}
+	usedOtherLayer := false
+	for _, p := range res.Path {
+		if p.Z == 1 {
+			usedOtherLayer = true
+		}
+	}
+	if !usedOtherLayer {
+		t.Fatal("crossing route did not use the second layer")
+	}
+}
+
+func TestRoutesBlockEachOther(t *testing.T) {
+	b := &Board{W: 6, H: 1, Layers: 1}
+	s := seededStore(t, b)
+
+	if _, err := routeOne(t, s, b, Net{ID: 1, Src: Point{0, 0}, Dst: Point{5, 0}}, 1); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	// The single row is now fully occupied.
+	_, err := routeOne(t, s, b, Net{ID: 2, Src: Point{1, 0}, Dst: Point{4, 0}}, 2)
+	if !errors.Is(err, ErrUnroutable) {
+		t.Fatalf("second route = %v, want ErrUnroutable", err)
+	}
+}
+
+func TestConflictingRoutesDetectedByValidation(t *testing.T) {
+	b := &Board{W: 8, H: 3, Layers: 1}
+	s := seededStore(t, b)
+
+	// Two transactions route overlapping nets from the same snapshot; the
+	// second commit must fail validation.
+	var r1, r2 RouteResult
+	n1 := Net{ID: 1, Src: Point{0, 1}, Dst: Point{7, 1}}
+	n2 := Net{ID: 2, Src: Point{3, 0}, Dst: Point{3, 2}}
+
+	t1 := s.Begin(false)
+	t2 := s.Begin(false)
+	if err := b.RouteTxn(n1, &r1)(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RouteTxn(n2, &r2)(t2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(stm.TxnID{Replica: 1, Seq: 1}); err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+	if err := t2.Commit(stm.TxnID{Replica: 1, Seq: 2}); !errors.Is(err, stm.ErrConflict) {
+		t.Fatalf("t2 commit = %v, want ErrConflict", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Seed: 7})
+	b := Generate(GenConfig{Seed: 7})
+	if len(a.Nets) != len(b.Nets) {
+		t.Fatalf("net counts differ: %d vs %d", len(a.Nets), len(b.Nets))
+	}
+	for i := range a.Nets {
+		if a.Nets[i] != b.Nets[i] {
+			t.Fatalf("net %d differs: %+v vs %+v", i, a.Nets[i], b.Nets[i])
+		}
+	}
+}
+
+func TestGenerateMixedLengths(t *testing.T) {
+	b := Generate(GenConfig{W: 64, H: 64, Nets: 100, LongFrac: 0.3, Seed: 3})
+	if len(b.Nets) < 80 {
+		t.Fatalf("generated only %d nets", len(b.Nets))
+	}
+	short, long := 0, 0
+	for _, n := range b.Nets {
+		if n.Dist() <= 9 {
+			short++
+		}
+		if n.Dist() >= 32 {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("no length heterogeneity: %d short, %d long", short, long)
+	}
+	// Pins are distinct.
+	pins := make(map[Point]bool)
+	for _, n := range b.Nets {
+		for _, p := range []Point{n.Src, n.Dst} {
+			if pins[p] {
+				t.Fatalf("pin %v reused", p)
+			}
+			pins[p] = true
+		}
+	}
+}
+
+func TestGeneratedBoardMostlyRoutable(t *testing.T) {
+	b := Generate(GenConfig{W: 32, H: 32, Nets: 40, Seed: 11})
+	s := seededStore(t, b)
+
+	routed, failed := 0, 0
+	for i, net := range b.Nets {
+		_, err := routeOne(t, s, b, net, uint64(i+1))
+		switch {
+		case err == nil:
+			routed++
+		case errors.Is(err, ErrUnroutable):
+			failed++
+		default:
+			t.Fatalf("net %d: %v", net.ID, err)
+		}
+	}
+	if routed < len(b.Nets)*3/4 {
+		t.Fatalf("only %d/%d nets routable (%d failed)", routed, len(b.Nets), failed)
+	}
+}
+
+func TestReadSetGrowsWithNetLength(t *testing.T) {
+	b := &Board{W: 32, H: 32, Layers: 1}
+	s := seededStore(t, b)
+
+	short, err := routeOne(t, s, b, Net{ID: 1, Src: Point{0, 0}, Dst: Point{2, 0}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := routeOne(t, s, b, Net{ID: 2, Src: Point{0, 31}, Dst: Point{31, 1}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.CellsRead <= short.CellsRead*4 {
+		t.Fatalf("heterogeneity missing: short read %d cells, long read %d",
+			short.CellsRead, long.CellsRead)
+	}
+}
+
+func TestCellIDFormat(t *testing.T) {
+	if got := CellID(1, 2, 3); got != "cell:1:2:3" {
+		t.Fatalf("CellID = %q", got)
+	}
+	if got := fmt.Sprint(Net{ID: 1, Src: Point{0, 0}, Dst: Point{3, 4}}.Dist()); got != "7" {
+		t.Fatalf("Dist = %s, want 7", got)
+	}
+}

@@ -1,0 +1,224 @@
+package lee
+
+import (
+	"fmt"
+	"time"
+)
+
+// Txn is the slice of a transaction the router needs; it is satisfied by
+// both the internal *stm.Txn and the public API's transaction handle.
+type Txn interface {
+	Read(box string) (any, error)
+	Write(box string, v any) error
+}
+
+// point3 is an internal 3D coordinate (layer, y, x).
+type point3 struct {
+	Z, Y, X int
+}
+
+// RouteResult describes one successfully routed net.
+type RouteResult struct {
+	Net  Net
+	Path []point3
+	// CellsRead is the size of the expansion read-set (transaction length
+	// proxy).
+	CellsRead int
+}
+
+// Len returns the path length in cells.
+func (r *RouteResult) Len() int { return len(r.Path) }
+
+// RouteTxn returns the transaction body that routes one net: a breadth-first
+// Lee expansion reading grid cells from the transaction's snapshot, followed
+// by a backtrace that writes the chosen path. On success the result is
+// stored in *out (valid only if the transaction commits; the closure may run
+// multiple times and overwrites it each attempt). Returns ErrUnroutable when
+// the net cannot be routed in this snapshot.
+func (b *Board) RouteTxn(net Net, out *RouteResult) func(Txn) error {
+	return func(tx Txn) error {
+		res, err := b.route(tx, net)
+		if err != nil {
+			return err
+		}
+		*out = *res
+		return nil
+	}
+}
+
+// route performs the expansion and backtrace inside transaction tx.
+// Expansion is restricted to the net's bounding box plus BBoxMargin (the
+// classic Lee-TM optimization): without it every long route floods the whole
+// board, and its read-set — hence its conflict footprint — covers everything.
+func (b *Board) route(tx Txn, net Net) (*RouteResult, error) {
+	const unreached = -1
+	cost := make([]int, b.NumCells())
+	for i := range cost {
+		cost[i] = unreached
+	}
+	idx := func(p point3) int { return (p.Z*b.H+p.Y)*b.W + p.X }
+
+	margin := b.BBoxMargin
+	if margin <= 0 {
+		margin = 6
+	}
+	x0, x1 := minInt(net.Src.X, net.Dst.X)-margin, maxInt(net.Src.X, net.Dst.X)+margin
+	y0, y1 := minInt(net.Src.Y, net.Dst.Y)-margin, maxInt(net.Src.Y, net.Dst.Y)+margin
+	inBox := func(p point3) bool {
+		return p.X >= x0 && p.X <= x1 && p.Y >= y0 && p.Y <= y1
+	}
+
+	// readCell reads one grid cell from the snapshot (and records it in the
+	// transaction's read-set — the source of Lee-TM's large read-sets).
+	cellsRead := 0
+	readCell := func(p point3) (int, error) {
+		v, err := tx.Read(CellID(p.Z, p.Y, p.X))
+		if err != nil {
+			return 0, err
+		}
+		cellsRead++
+		n, ok := v.(int)
+		if !ok {
+			return 0, fmt.Errorf("lee: cell %v holds %T", p, v)
+		}
+		return n, nil
+	}
+
+	srcs := make([]point3, 0, b.Layers)
+	dsts := make(map[point3]bool, b.Layers)
+	for z := 0; z < b.Layers; z++ {
+		srcs = append(srcs, point3{Z: z, Y: net.Src.Y, X: net.Src.X})
+		dsts[point3{Z: z, Y: net.Dst.Y, X: net.Dst.X}] = true
+	}
+
+	// Expansion: BFS wavefront over free cells. Pins of this net are
+	// traversable even if already written by a previous (re-)execution.
+	frontier := make([]point3, 0, 64)
+	for _, s := range srcs {
+		v, err := readCell(s)
+		if err != nil {
+			return nil, err
+		}
+		if v != Free && v != net.ID {
+			continue // source pin blocked on this layer
+		}
+		cost[idx(s)] = 0
+		frontier = append(frontier, s)
+	}
+
+	var goal point3
+	found := false
+	for len(frontier) > 0 && !found {
+		next := frontier[:0:0]
+		for _, p := range frontier {
+			for _, q := range b.neighbors(p) {
+				if !inBox(q) || cost[idx(q)] != unreached {
+					continue
+				}
+				v, err := readCell(q)
+				if err != nil {
+					return nil, err
+				}
+				traversable := v == Free || v == net.ID
+				if dsts[q] && traversable {
+					cost[idx(q)] = cost[idx(p)] + 1
+					goal = q
+					found = true
+					break
+				}
+				if !traversable {
+					cost[idx(q)] = -2 // blocked, don't re-read
+					continue
+				}
+				cost[idx(q)] = cost[idx(p)] + 1
+				next = append(next, q)
+			}
+			if found {
+				break
+			}
+		}
+		frontier = next
+	}
+	if !found {
+		b.work(cellsRead)
+		return nil, ErrUnroutable
+	}
+	b.work(cellsRead)
+
+	// Backtrace: walk strictly decreasing costs back to a source, writing
+	// the path (the transaction's write-set).
+	path := []point3{goal}
+	cur := goal
+	for cost[idx(cur)] > 0 {
+		stepped := false
+		for _, q := range b.neighbors(cur) {
+			if c := cost[idx(q)]; c == cost[idx(cur)]-1 {
+				cur = q
+				path = append(path, q)
+				stepped = true
+				break
+			}
+		}
+		if !stepped {
+			return nil, fmt.Errorf("lee: backtrace stuck at %v (net %d)", cur, net.ID)
+		}
+	}
+	for _, p := range path {
+		if err := tx.Write(CellID(p.Z, p.Y, p.X), net.ID); err != nil {
+			return nil, err
+		}
+	}
+	return &RouteResult{Net: net, Path: path, CellsRead: cellsRead}, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// work burns the configured per-read processing time (see
+// Board.WorkPerRead). Sleeping (rather than spinning) keeps the simulated
+// cluster's other replicas running on small hosts.
+func (b *Board) work(cellsRead int) {
+	if b.WorkPerRead <= 0 {
+		return
+	}
+	d := time.Duration(cellsRead) * b.WorkPerRead
+	if d < 200*time.Microsecond {
+		return // short transactions stay short
+	}
+	time.Sleep(d)
+}
+
+// neighbors returns the routable moves from p: the 4-neighborhood within a
+// layer plus the via to the other layers.
+func (b *Board) neighbors(p point3) []point3 {
+	out := make([]point3, 0, 4+b.Layers-1)
+	if p.X > 0 {
+		out = append(out, point3{p.Z, p.Y, p.X - 1})
+	}
+	if p.X < b.W-1 {
+		out = append(out, point3{p.Z, p.Y, p.X + 1})
+	}
+	if p.Y > 0 {
+		out = append(out, point3{p.Z, p.Y - 1, p.X})
+	}
+	if p.Y < b.H-1 {
+		out = append(out, point3{p.Z, p.Y + 1, p.X})
+	}
+	for z := 0; z < b.Layers; z++ {
+		if z != p.Z {
+			out = append(out, point3{z, p.Y, p.X})
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+func TestSendReceive(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+	b := mustEndpoint(t, n, 1)
+
+	if err := a.Send(1, "hello"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msg := recvOne(t, b)
+	if msg.From != 0 || msg.Payload != "hello" {
+		t.Fatalf("got %+v, want from=0 payload=hello", msg)
+	}
+}
+
+func TestSelfSendNoLatency(t *testing.T) {
+	n := New(Config{Latency: 500 * time.Millisecond})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+
+	start := time.Now()
+	if err := a.Send(0, 42); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	msg := recvOne(t, a)
+	if msg.Payload != 42 {
+		t.Fatalf("payload = %v, want 42", msg.Payload)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("self send took %v, should bypass latency", elapsed)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	n := New(Config{Latency: time.Millisecond, Jitter: 2 * time.Millisecond})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+	b := mustEndpoint(t, n, 1)
+
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send(1, i); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		msg := recvOne(t, b)
+		if msg.Payload != i {
+			t.Fatalf("message %d arrived out of order: got %v", i, msg.Payload)
+		}
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	const lat = 50 * time.Millisecond
+	n := New(Config{Latency: lat})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+	b := mustEndpoint(t, n, 1)
+
+	start := time.Now()
+	if err := a.Send(1, "x"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	recvOne(t, b)
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("delivered after %v, want >= %v", elapsed, lat)
+	}
+}
+
+func TestCrashDropsMessages(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+	b := mustEndpoint(t, n, 1)
+
+	n.Crash(1)
+	select {
+	case <-b.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed after crash")
+	}
+	if err := a.Send(1, "lost"); err != nil {
+		t.Fatalf("Send to crashed peer should not error: %v", err)
+	}
+	select {
+	case msg := <-b.Inbox():
+		t.Fatalf("crashed endpoint received %+v", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+	mustEndpoint(t, n, 1)
+
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := a.Send(1, "x"); err != transport.ErrClosed {
+		t.Fatalf("Send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestDuplicateEndpointRejected(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	mustEndpoint(t, n, 0)
+	if _, err := n.Endpoint(0); err == nil {
+		t.Fatal("duplicate endpoint creation succeeded")
+	}
+}
+
+func TestPartitionBlocksAndHealRestores(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+	b := mustEndpoint(t, n, 1)
+	c := mustEndpoint(t, n, 2)
+
+	n.Partition([]transport.ID{0}, []transport.ID{1, 2})
+
+	if err := a.Send(1, "blocked"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case msg := <-b.Inbox():
+		t.Fatalf("partitioned endpoint received %+v", msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Same-side traffic flows.
+	if err := b.Send(2, "same side"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if msg := recvOne(t, c); msg.Payload != "same side" {
+		t.Fatalf("got %v", msg.Payload)
+	}
+
+	n.Heal()
+	if err := a.Send(1, "after heal"); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if msg := recvOne(t, b); msg.Payload != "after heal" {
+		t.Fatalf("got %v, want after heal", msg.Payload)
+	}
+}
+
+func TestNetworkCloseStopsEndpoints(t *testing.T) {
+	n := New(Config{})
+	a := mustEndpoint(t, n, 0)
+	n.Close()
+	select {
+	case <-a.Done():
+	case <-time.After(time.Second):
+		t.Fatal("endpoint not stopped by network Close")
+	}
+	if _, err := n.Endpoint(5); err == nil {
+		t.Fatal("Endpoint after Close should fail")
+	}
+}
+
+func mustEndpoint(t *testing.T, n *Network, id transport.ID) *Endpoint {
+	t.Helper()
+	ep, err := n.Endpoint(id)
+	if err != nil {
+		t.Fatalf("Endpoint(%d): %v", id, err)
+	}
+	return ep
+}
+
+func recvOne(t *testing.T, ep *Endpoint) transport.Message {
+	t.Helper()
+	select {
+	case msg := <-ep.Inbox():
+		return msg
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return transport.Message{}
+	}
+}
+
+func TestPerMessageCostQueueing(t *testing.T) {
+	// With a 10ms per-message cost, 5 back-to-back messages must take at
+	// least 40ms to fully deliver (the receiver absorbs them serially).
+	n := New(Config{PerMessageCost: 10 * time.Millisecond})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+	b := mustEndpoint(t, n, 1)
+
+	start := time.Now()
+	const count = 5
+	for i := 0; i < count; i++ {
+		if err := a.Send(1, i); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		recvOne(t, b)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("5 messages at 10ms/message delivered in %v, want >= 40ms", elapsed)
+	}
+}
+
+func TestPerMessageCostZeroIsFast(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := mustEndpoint(t, n, 0)
+	b := mustEndpoint(t, n, 1)
+
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if err := a.Send(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		recvOne(t, b)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("unthrottled delivery took %v", elapsed)
+	}
+}

@@ -1,0 +1,208 @@
+// Package metrics provides the lightweight counters and latency histograms
+// that the replication protocols and the experiment harness record: commit
+// and abort counts, retry distributions, and commit-phase latency
+// percentiles. Everything is lock-free on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be non-negative) to the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram records durations in geometrically spaced buckets from 1µs to
+// ~17.9min and reports percentiles. It is safe for concurrent use.
+type Histogram struct {
+	buckets [_numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64
+}
+
+const (
+	_numBuckets  = 64
+	_bucketBase  = float64(1 * time.Microsecond)
+	_bucketRatio = 1.4
+)
+
+var _bucketBounds = func() [_numBuckets]time.Duration {
+	var b [_numBuckets]time.Duration
+	v := _bucketBase
+	for i := range b {
+		b[i] = time.Duration(v)
+		v *= _bucketRatio
+	}
+	return b
+}()
+
+// bucketFor returns the index of the first bucket whose upper bound is >= d.
+func bucketFor(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	idx := int(math.Ceil(math.Log(float64(d)/_bucketBase) / math.Log(_bucketRatio)))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= _numBuckets {
+		return _numBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) of the
+// observed durations, at bucket resolution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < _numBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return _bucketBounds[i]
+		}
+	}
+	return _bucketBounds[_numBuckets-1]
+}
+
+// String formats the key percentiles.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max())
+}
+
+// IntDist tracks a distribution of small non-negative integers exactly (for
+// example, the number of aborts a transaction suffered before committing).
+type IntDist struct {
+	mu     sync.Mutex
+	counts map[int]int64
+	total  int64
+	sum    int64
+}
+
+// NewIntDist creates an empty distribution.
+func NewIntDist() *IntDist {
+	return &IntDist{counts: make(map[int]int64)}
+}
+
+// Observe records one value.
+func (d *IntDist) Observe(v int) {
+	d.mu.Lock()
+	d.counts[v]++
+	d.total++
+	d.sum += int64(v)
+	d.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (d *IntDist) Count() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.total
+}
+
+// Mean returns the mean observed value.
+func (d *IntDist) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.total == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(d.total)
+}
+
+// FractionAtMost returns the fraction of observations <= v.
+func (d *IntDist) FractionAtMost(v int) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.total == 0 {
+		return 1
+	}
+	var n int64
+	for k, c := range d.counts {
+		if k <= v {
+			n += c
+		}
+	}
+	return float64(n) / float64(d.total)
+}
+
+// Max returns the largest observed value.
+func (d *IntDist) Max() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := 0
+	for k := range d.counts {
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}
+
+// Snapshot returns the (value, count) pairs sorted by value.
+func (d *IntDist) Snapshot() [][2]int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]int, 0, len(d.counts))
+	for k := range d.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][2]int64, len(keys))
+	for i, k := range keys {
+		out[i] = [2]int64{int64(k), d.counts[k]}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 10000 {
+		t.Fatalf("Value = %d, want 10000", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(10 * time.Millisecond)
+
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Max() != 10*time.Millisecond {
+		t.Fatalf("Max = %v, want 10ms", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 4*time.Millisecond || mean > 5*time.Millisecond {
+		t.Fatalf("Mean = %v, want ~4.33ms", mean)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	// Bucket resolution is a factor of 1.4: allow that much slack.
+	if p50 < 400*time.Microsecond || p50 > 800*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~500µs", p50)
+	}
+}
+
+func TestHistogramExtremeDurations(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamped to first bucket
+	h.Observe(0)
+	h.Observe(24 * time.Hour) // clamped to last bucket
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Quantile(1.0) != _bucketBounds[_numBuckets-1] {
+		t.Fatalf("Quantile(1) = %v, want last bucket bound", h.Quantile(1.0))
+	}
+}
+
+func TestQuickQuantileIsUpperBound(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		maxD := time.Duration(0)
+		for _, r := range raw {
+			d := time.Duration(r) * time.Microsecond
+			if d > maxD {
+				maxD = d
+			}
+			h.Observe(d)
+		}
+		// The 100th percentile upper bound must be >= the true max
+		// (within the last-bucket clamp).
+		q := h.Quantile(1.0)
+		return q >= maxD || q == _bucketBounds[_numBuckets-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntDist(t *testing.T) {
+	d := NewIntDist()
+	for _, v := range []int{0, 0, 1, 1, 1, 2, 5} {
+		d.Observe(v)
+	}
+	if d.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", d.Count())
+	}
+	if got := d.FractionAtMost(1); got < 0.70 || got > 0.72 {
+		t.Fatalf("FractionAtMost(1) = %v, want 5/7", got)
+	}
+	if d.Max() != 5 {
+		t.Fatalf("Max = %d, want 5", d.Max())
+	}
+	if mean := d.Mean(); mean < 1.42 || mean > 1.43 {
+		t.Fatalf("Mean = %v, want 10/7", mean)
+	}
+	snap := d.Snapshot()
+	if len(snap) != 4 || snap[0] != [2]int64{0, 2} || snap[3] != [2]int64{5, 1} {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestIntDistEmpty(t *testing.T) {
+	d := NewIntDist()
+	if d.Mean() != 0 || d.Max() != 0 || d.FractionAtMost(0) != 1 {
+		t.Fatal("empty IntDist should report zeros and full fraction")
+	}
+}

@@ -1,0 +1,137 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Microbenchmarks for the local STM substrate: the costs that bound every
+// replicated transaction's local phase.
+
+func BenchmarkRead(b *testing.B) {
+	s := NewStore()
+	if _, err := s.CreateBox("x", 42); err != nil {
+		b.Fatal(err)
+	}
+	tx := s.Begin(true)
+	defer tx.Abort()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Read("x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadTracked(b *testing.B) {
+	s := NewStore()
+	const boxes = 1024
+	for i := 0; i < boxes; i++ {
+		if _, err := s.CreateBox(fmt.Sprintf("b%04d", i), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ids := make([]string, boxes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("b%04d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin(false)
+		for _, id := range ids {
+			if _, err := tx.Read(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tx.Abort()
+	}
+	b.ReportMetric(float64(boxes), "reads/txn")
+}
+
+func BenchmarkCommitReadModifyWrite(b *testing.B) {
+	s := NewStore()
+	if _, err := s.CreateBox("x", 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin(false)
+		v, err := tx.Read("x")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tx.Write("x", v.(int)+1)
+		if err := tx.Commit(TxnID{Replica: 1, Seq: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApplyWriteSet(b *testing.B) {
+	s := NewStore()
+	ws := make(WriteSet, 16)
+	for i := range ws {
+		id := fmt.Sprintf("w%02d", i)
+		if _, err := s.CreateBox(id, 0); err != nil {
+			b.Fatal(err)
+		}
+		ws[i] = WriteEntry{Box: id, Value: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ApplyWriteSet(TxnID{Replica: 2, Seq: uint64(i + 1)}, ws)
+	}
+	b.ReportMetric(16, "boxes/ws")
+}
+
+func BenchmarkValidate(b *testing.B) {
+	s := NewStore()
+	const boxes = 256
+	rs := make(ReadSet, boxes)
+	for i := 0; i < boxes; i++ {
+		id := fmt.Sprintf("v%03d", i)
+		if _, err := s.CreateBox(id, 0); err != nil {
+			b.Fatal(err)
+		}
+		rs[i] = ReadEntry{Box: id}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.Validate(0, rs) {
+			b.Fatal("unexpected invalidation")
+		}
+	}
+	b.ReportMetric(boxes, "reads/validate")
+}
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 4096; i++ {
+		if _, err := s.CreateBox(fmt.Sprintf("s%04d", i), i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := s.Snapshot()
+		dst := NewStore()
+		dst.Restore(snap)
+	}
+	b.ReportMetric(4096, "boxes")
+}
+
+func BenchmarkGC(b *testing.B) {
+	s := NewStore()
+	if _, err := s.CreateBox("x", 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 64; j++ {
+			s.ApplyWriteSet(TxnID{Replica: 1, Seq: uint64(i*64 + j + 1)}, WriteSet{{Box: "x", Value: j}})
+		}
+		b.StartTimer()
+		s.GC()
+	}
+}

@@ -1,0 +1,495 @@
+// Package stm implements a multi-version software transactional memory
+// modelled on JVSTM (Cachopo & Rito-Silva, "Versioned boxes as the basis for
+// memory transactions"), the local STM that the ALC replication protocol is
+// layered on.
+//
+// The central abstraction is the versioned box (VBox): a container holding a
+// timestamp-tagged history of values. The store maintains an integer
+// commitTimestamp that is incremented by every committed write transaction;
+// a transaction reads the newest version of each box that is no newer than
+// its snapshot, giving opacity (even doomed transactions only ever observe
+// consistent states) and making read-only transactions abort-free and
+// wait-free.
+//
+// Beyond plain JVSTM, the package exposes the three extension points the
+// paper's Replication Manager needs (§3):
+//
+//  1. extraction of a transaction's read-set, write-set and snapshot,
+//  2. explicit validation against transactions committed after the snapshot,
+//  3. atomic application of a remotely executed transaction's write-set
+//     (ApplyWriteSet), which also advances commitTimestamp.
+//
+// Each committed version additionally records the globally unique ID of the
+// transaction that wrote it. Version writer IDs — unlike raw timestamps,
+// which can diverge across replicas when non-conflicting write-sets are
+// applied in different orders — are identical at every replica for the
+// versions a transaction observed, and are what the certification protocols
+// exchange to validate read-sets deterministically cluster-wide.
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Value is the content of a versioned box. Values must be immutable: they are
+// shared between transactions, version histories and (on the in-memory
+// transport) between replicas.
+type Value = any
+
+// TxnID globally identifies a write transaction: the replica that executed it
+// and a replica-local sequence number. The zero TxnID denotes the initial
+// version of a box.
+type TxnID struct {
+	Replica transport.ID
+	Seq     uint64
+}
+
+// IsZero reports whether the ID is the zero (initial-version) ID.
+func (id TxnID) IsZero() bool { return id == TxnID{} }
+
+func (id TxnID) String() string {
+	if id.IsZero() {
+		return "txn(init)"
+	}
+	return fmt.Sprintf("txn(%d:%d)", id.Replica, id.Seq)
+}
+
+// Errors returned by transaction operations.
+var (
+	// ErrNoSuchBox is returned by Txn.Read for a box that does not exist in
+	// the transaction's snapshot.
+	ErrNoSuchBox = errors.New("stm: no such box")
+	// ErrConflict is returned when validation detects that the transaction
+	// read stale data and must be re-executed.
+	ErrConflict = errors.New("stm: conflict, transaction must retry")
+	// ErrTxnDone is returned when operating on a committed or aborted Txn.
+	ErrTxnDone = errors.New("stm: transaction already finished")
+	// ErrReadOnly is returned by Write on a read-only transaction.
+	ErrReadOnly = errors.New("stm: write in read-only transaction")
+)
+
+// version is one entry in a box's history. Histories are singly linked from
+// newest to oldest; the head pointer is swung atomically so readers never
+// take locks.
+type version struct {
+	ts     int64
+	writer TxnID
+	value  Value
+	// prev links to the next older version. It is atomic because GC
+	// truncates histories concurrently with lock-free readers.
+	prev atomic.Pointer[version]
+}
+
+// VBox is a versioned box: a replicated transactional memory cell.
+type VBox struct {
+	id   string
+	head atomic.Pointer[version]
+}
+
+// ID returns the box's globally unique identifier.
+func (b *VBox) ID() string { return b.id }
+
+// read returns the newest version with ts <= snapshot, or nil if the box did
+// not exist at that snapshot.
+func (b *VBox) read(snapshot int64) *version {
+	for v := b.head.Load(); v != nil; v = v.prev.Load() {
+		if v.ts <= snapshot {
+			return v
+		}
+	}
+	return nil
+}
+
+// newerThan reports whether the box has any version newer than snapshot.
+func (b *VBox) newerThan(snapshot int64) bool {
+	v := b.head.Load()
+	return v != nil && v.ts > snapshot
+}
+
+// Store is one replica's transactional heap: the set of versioned boxes plus
+// the commit clock. The zero value is not usable; call NewStore.
+type Store struct {
+	boxesMu sync.RWMutex
+	boxes   map[string]*VBox
+
+	// commitMu serializes all write commits and write-set applications,
+	// mirroring JVSTM's global commit lock.
+	commitMu sync.Mutex
+	clock    atomic.Int64
+
+	snapshots *snapshotTracker
+}
+
+// NewStore creates an empty store with commitTimestamp 0.
+func NewStore() *Store {
+	return &Store{
+		boxes:     make(map[string]*VBox),
+		snapshots: newSnapshotTracker(),
+	}
+}
+
+// CommitTimestamp returns the store's current commit clock.
+func (s *Store) CommitTimestamp() int64 { return s.clock.Load() }
+
+// CreateBox creates a box with the given initial value at the current commit
+// timestamp. It is intended for pre-seeding state before a replica starts
+// processing transactions; boxes written by transactions are created
+// implicitly when their write-sets are applied.
+func (s *Store) CreateBox(id string, initial Value) (*VBox, error) {
+	s.boxesMu.Lock()
+	defer s.boxesMu.Unlock()
+	if _, ok := s.boxes[id]; ok {
+		return nil, fmt.Errorf("stm: box %q already exists", id)
+	}
+	b := &VBox{id: id}
+	b.head.Store(&version{ts: s.clock.Load(), value: initial})
+	s.boxes[id] = b
+	return b, nil
+}
+
+// Box returns the box with the given ID, if it exists.
+func (s *Store) Box(id string) (*VBox, bool) {
+	s.boxesMu.RLock()
+	defer s.boxesMu.RUnlock()
+	b, ok := s.boxes[id]
+	return b, ok
+}
+
+// ensureBox returns the box with the given ID, creating an empty (no
+// versions) box if absent. Used when applying write-sets that create boxes.
+func (s *Store) ensureBox(id string) *VBox {
+	s.boxesMu.RLock()
+	b, ok := s.boxes[id]
+	s.boxesMu.RUnlock()
+	if ok {
+		return b
+	}
+	s.boxesMu.Lock()
+	defer s.boxesMu.Unlock()
+	if b, ok = s.boxes[id]; ok {
+		return b
+	}
+	b = &VBox{id: id}
+	s.boxes[id] = b
+	return b
+}
+
+// NumBoxes returns the number of boxes in the store.
+func (s *Store) NumBoxes() int {
+	s.boxesMu.RLock()
+	defer s.boxesMu.RUnlock()
+	return len(s.boxes)
+}
+
+// Begin starts a transaction against the current snapshot.
+func (s *Store) Begin(readOnly bool) *Txn {
+	snap := s.clock.Load()
+	s.snapshots.acquire(snap)
+	t := &Txn{
+		store:    s,
+		snapshot: snap,
+		readOnly: readOnly,
+	}
+	if !readOnly {
+		t.reads = make(map[string]TxnID)
+		t.writes = make(map[string]Value)
+	}
+	return t
+}
+
+// ApplyWriteSet atomically installs ws as a new committed version of every
+// box it touches, tagged with the given writer ID, and advances the commit
+// clock by one. It is used both to commit local transactions and to apply
+// the write-sets of remotely executed transactions (§3, extension iii).
+// It returns the new commit timestamp.
+func (s *Store) ApplyWriteSet(writer TxnID, ws WriteSet) int64 {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.applyLocked(writer, ws)
+}
+
+func (s *Store) applyLocked(writer TxnID, ws WriteSet) int64 {
+	ts := s.clock.Load() + 1
+	for _, e := range ws {
+		b := s.ensureBox(e.Box)
+		v := &version{ts: ts, writer: writer, value: e.Value}
+		v.prev.Store(b.head.Load())
+		b.head.Store(v)
+	}
+	s.clock.Store(ts)
+	return ts
+}
+
+// ValidateAndApply validates rs against the current store state and, if
+// valid, applies ws in the same critical section. It returns ErrConflict
+// without applying anything when validation fails. This is the linearization
+// point of a locally certified commit.
+func (s *Store) ValidateAndApply(writer TxnID, snapshot int64, rs ReadSet, ws WriteSet) (int64, error) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if !s.validateLocked(snapshot, rs) {
+		return 0, ErrConflict
+	}
+	return s.applyLocked(writer, ws), nil
+}
+
+// Validate reports whether a transaction with the given snapshot and read-set
+// would commit successfully right now. The answer may be invalidated by a
+// concurrent commit; use ValidateAndApply for the authoritative check.
+func (s *Store) Validate(snapshot int64, rs ReadSet) bool {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	return s.validateLocked(snapshot, rs)
+}
+
+func (s *Store) validateLocked(snapshot int64, rs ReadSet) bool {
+	for _, r := range rs {
+		b, ok := s.Box(r.Box)
+		if !ok {
+			// Read of a then-missing box: still missing means still valid.
+			continue
+		}
+		if b.newerThan(snapshot) {
+			return false
+		}
+	}
+	return true
+}
+
+// GC prunes box histories: for every box, all versions older than the newest
+// version visible at the oldest active snapshot are discarded. It returns
+// the number of versions pruned.
+func (s *Store) GC() int {
+	watermark := s.snapshots.min(s.clock.Load())
+	s.boxesMu.RLock()
+	boxes := make([]*VBox, 0, len(s.boxes))
+	for _, b := range s.boxes {
+		boxes = append(boxes, b)
+	}
+	s.boxesMu.RUnlock()
+
+	pruned := 0
+	for _, b := range boxes {
+		// Find the newest version with ts <= watermark; anything older is
+		// unreachable by any current or future transaction.
+		v := b.head.Load()
+		for v != nil && v.ts > watermark {
+			v = v.prev.Load()
+		}
+		if v == nil {
+			continue
+		}
+		for cut := v.prev.Load(); cut != nil; cut = cut.prev.Load() {
+			pruned++
+		}
+		v.prev.Store(nil)
+	}
+	return pruned
+}
+
+// ActiveTxns returns the number of transactions currently in flight.
+func (s *Store) ActiveTxns() int { return s.snapshots.count() }
+
+// Txn is a transaction. A Txn must be used by a single goroutine; the store
+// itself is safe for any number of concurrent transactions.
+type Txn struct {
+	store    *Store
+	snapshot int64
+	readOnly bool
+	done     bool
+
+	// reads maps box ID -> writer of the version observed. writes buffers
+	// the transaction's updates (redo log).
+	reads  map[string]TxnID
+	writes map[string]Value
+}
+
+// Snapshot returns the commit timestamp the transaction is reading at
+// (JVSTM's snapshotID).
+func (t *Txn) Snapshot() int64 { return t.snapshot }
+
+// ReadOnly reports whether the transaction was started read-only.
+func (t *Txn) ReadOnly() bool { return t.readOnly }
+
+// Read returns the value of the box visible in the transaction's snapshot,
+// or the transaction's own buffered write if it wrote the box.
+func (t *Txn) Read(id string) (Value, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if !t.readOnly {
+		if v, ok := t.writes[id]; ok {
+			return v, nil
+		}
+	}
+	b, ok := t.store.Box(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchBox, id)
+	}
+	v := b.read(t.snapshot)
+	if v == nil {
+		// Box created after our snapshot: invisible to us.
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchBox, id)
+	}
+	if !t.readOnly {
+		if _, seen := t.reads[id]; !seen {
+			t.reads[id] = v.writer
+		}
+	}
+	return v.value, nil
+}
+
+// Write buffers a new value for the box. The box need not exist yet: writing
+// creates it at commit time.
+func (t *Txn) Write(id string, v Value) error {
+	switch {
+	case t.done:
+		return ErrTxnDone
+	case t.readOnly:
+		return ErrReadOnly
+	}
+	t.writes[id] = v
+	return nil
+}
+
+// IsUpdate reports whether the transaction has buffered any writes.
+func (t *Txn) IsUpdate() bool { return len(t.writes) > 0 }
+
+// ReadSet returns the transaction's read-set: every box it read together
+// with the writer ID of the version it observed, sorted by box ID.
+func (t *Txn) ReadSet() ReadSet {
+	rs := make(ReadSet, 0, len(t.reads))
+	for id, w := range t.reads {
+		rs = append(rs, ReadEntry{Box: id, Writer: w})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Box < rs[j].Box })
+	return rs
+}
+
+// WriteSet returns the transaction's buffered writes, sorted by box ID.
+func (t *Txn) WriteSet() WriteSet {
+	ws := make(WriteSet, 0, len(t.writes))
+	for id, v := range t.writes {
+		ws = append(ws, WriteEntry{Box: id, Value: v})
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Box < ws[j].Box })
+	return ws
+}
+
+// Validate re-checks the transaction's read-set against the store: it fails
+// if any box read was meanwhile updated by a transaction (local or remote)
+// that committed after this transaction's snapshot.
+func (t *Txn) Validate() bool {
+	if t.done {
+		return false
+	}
+	return t.store.Validate(t.snapshot, t.ReadSet())
+}
+
+// Commit certifies the transaction against the local store only and, on
+// success, applies its writes with the given writer ID. Replicated
+// deployments do not call Commit: the Replication Manager certifies through
+// the cluster-wide protocol and calls Store.ApplyWriteSet. Commit is the
+// standalone (single-process) usage of the STM.
+func (t *Txn) Commit(writer TxnID) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	defer t.finish()
+	if t.readOnly || len(t.writes) == 0 {
+		// Multi-version snapshots make read-only transactions trivially
+		// serializable: nothing to validate or write.
+		return nil
+	}
+	_, err := t.store.ValidateAndApply(writer, t.snapshot, t.ReadSet(), t.WriteSet())
+	return err
+}
+
+// Abort discards the transaction. Aborting an already finished transaction
+// is a no-op.
+func (t *Txn) Abort() {
+	if !t.done {
+		t.finish()
+	}
+}
+
+// Finish releases the transaction's snapshot without committing; it is used
+// by the replication layer after it has applied the write-set itself.
+func (t *Txn) Finish() { t.Abort() }
+
+func (t *Txn) finish() {
+	t.done = true
+	t.store.snapshots.release(t.snapshot)
+}
+
+// snapshotTracker tracks the multiset of active snapshots so GC knows the
+// oldest snapshot any live transaction can read.
+type snapshotTracker struct {
+	mu     sync.Mutex
+	counts map[int64]int
+}
+
+func newSnapshotTracker() *snapshotTracker {
+	return &snapshotTracker{counts: make(map[int64]int)}
+}
+
+func (st *snapshotTracker) acquire(snap int64) {
+	st.mu.Lock()
+	st.counts[snap]++
+	st.mu.Unlock()
+}
+
+func (st *snapshotTracker) release(snap int64) {
+	st.mu.Lock()
+	if st.counts[snap] <= 1 {
+		delete(st.counts, snap)
+	} else {
+		st.counts[snap]--
+	}
+	st.mu.Unlock()
+}
+
+// min returns the oldest active snapshot, or fallback if none are active.
+func (st *snapshotTracker) min(fallback int64) int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	m := fallback
+	for snap := range st.counts {
+		if snap < m {
+			m = snap
+		}
+	}
+	return m
+}
+
+func (st *snapshotTracker) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, c := range st.counts {
+		n += c
+	}
+	return n
+}
+
+// HeadWriter returns the writer ID of the box's latest committed version.
+// The second result is false if the box does not exist (or has no version).
+// Writer identities are replica-independent, which makes them the unit of
+// cross-replica read-set validation (§4.5 optimization (c)).
+func (s *Store) HeadWriter(id string) (TxnID, bool) {
+	b, ok := s.Box(id)
+	if !ok {
+		return TxnID{}, false
+	}
+	v := b.head.Load()
+	if v == nil {
+		return TxnID{}, false
+	}
+	return v.writer, true
+}

@@ -1,0 +1,278 @@
+// Package tcpnet implements transport.Transport over TCP with gob-encoded
+// frames, for deploying the replicated STM on real machines (cmd/alc-node).
+//
+// Semantics match the simulated transport: sends are asynchronous, delivery
+// is FIFO per connection, and messages to unreachable peers are dropped (the
+// GCS's retransmission and flush machinery recovers them). Outgoing
+// connections are established lazily and re-dialed in the background after
+// failures.
+//
+// All payload types crossing the wire must be registered with encoding/gob:
+// gcs.RegisterWire and core.RegisterWire cover the protocol stack, and
+// applications register their box value types via core.RegisterValue.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Config describes the process and its peers.
+type Config struct {
+	// Self is this process's ID; Addrs[Self] is the address to listen on.
+	Self transport.ID
+	// Addrs maps every process (including Self) to host:port.
+	Addrs map[transport.ID]string
+	// DialTimeout bounds connection attempts. Default 2s.
+	DialTimeout time.Duration
+	// RedialInterval spaces reconnection attempts. Default 500ms.
+	RedialInterval time.Duration
+	// QueueSize bounds per-peer send queues and the inbox. Default 8192.
+	QueueSize int
+}
+
+func (c *Config) fillDefaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RedialInterval <= 0 {
+		c.RedialInterval = 500 * time.Millisecond
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 8192
+	}
+}
+
+// envelope is the wire frame.
+type envelope struct {
+	From    transport.ID
+	Payload any
+}
+
+// Transport is a TCP-backed transport endpoint.
+type Transport struct {
+	cfg   Config
+	ln    net.Listener
+	inbox chan transport.Message
+
+	mu    sync.Mutex
+	peers map[transport.ID]*peer
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New starts listening and returns the transport.
+func New(cfg Config) (*Transport, error) {
+	cfg.fillDefaults()
+	addr, ok := cfg.Addrs[cfg.Self]
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: no address for self (%d)", cfg.Self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	t := &Transport{
+		cfg:   cfg,
+		ln:    ln,
+		inbox: make(chan transport.Message, cfg.QueueSize),
+		peers: make(map[transport.ID]*peer),
+		done:  make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Self returns the local process ID.
+func (t *Transport) Self() transport.ID { return t.cfg.Self }
+
+// Inbox returns the incoming message stream.
+func (t *Transport) Inbox() <-chan transport.Message { return t.inbox }
+
+// Done is closed when the transport stops.
+func (t *Transport) Done() <-chan struct{} { return t.done }
+
+// Send enqueues a payload for delivery to a peer. Unreachable peers drop
+// messages silently (asynchronous-system semantics).
+func (t *Transport) Send(to transport.ID, payload any) error {
+	select {
+	case <-t.done:
+		return transport.ErrClosed
+	default:
+	}
+	if to == t.cfg.Self {
+		select {
+		case t.inbox <- transport.Message{From: t.cfg.Self, Payload: payload}:
+		case <-t.done:
+		}
+		return nil
+	}
+	p, err := t.peerFor(to)
+	if err != nil {
+		return nil //nolint:nilerr // unknown peer behaves like a dead one
+	}
+	p.enqueue(payload)
+	return nil
+}
+
+// Close shuts the transport down.
+func (t *Transport) Close() error {
+	t.stopOnce.Do(func() {
+		close(t.done)
+		_ = t.ln.Close()
+		t.mu.Lock()
+		for _, p := range t.peers {
+			p.close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}
+
+func (t *Transport) peerFor(id transport.ID) (*peer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p, ok := t.peers[id]; ok {
+		return p, nil
+	}
+	addr, ok := t.cfg.Addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("tcpnet: unknown peer %d", id)
+	}
+	p := &peer{
+		t:     t,
+		id:    id,
+		addr:  addr,
+		queue: make(chan any, t.cfg.QueueSize),
+		stop:  make(chan struct{}),
+	}
+	t.peers[id] = p
+	t.wg.Add(1)
+	go p.run()
+	return p, nil
+}
+
+// acceptLoop receives inbound connections and decodes their frames.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	go func() {
+		<-t.done
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- transport.Message{From: env.From, Payload: env.Payload}:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// peer manages the outgoing connection to one process.
+type peer struct {
+	t     *Transport
+	id    transport.ID
+	addr  string
+	queue chan any
+
+	once sync.Once
+	stop chan struct{}
+}
+
+func (p *peer) enqueue(payload any) {
+	select {
+	case p.queue <- payload:
+	default:
+		// Backpressure: drop the message; the GCS retransmits unstable
+		// traffic and treats prolonged loss as a failure.
+	}
+}
+
+func (p *peer) close() { p.once.Do(func() { close(p.stop) }) }
+
+// run dials, streams the queue, and re-dials on failure.
+func (p *peer) run() {
+	defer p.t.wg.Done()
+	var (
+		conn net.Conn
+		enc  *gob.Encoder
+	)
+	disconnect := func() {
+		if conn != nil {
+			_ = conn.Close()
+			conn, enc = nil, nil
+		}
+	}
+	defer disconnect()
+
+	for {
+		var payload any
+		select {
+		case <-p.stop:
+			return
+		case <-p.t.done:
+			return
+		case payload = <-p.queue:
+		}
+
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", p.addr, p.t.cfg.DialTimeout)
+			if err != nil {
+				// Peer unreachable: drop and pace the next attempt.
+				select {
+				case <-time.After(p.t.cfg.RedialInterval):
+				case <-p.stop:
+					return
+				case <-p.t.done:
+					return
+				}
+				continue
+			}
+			conn, enc = c, gob.NewEncoder(c)
+		}
+		if err := enc.Encode(envelope{From: p.t.cfg.Self, Payload: payload}); err != nil {
+			disconnect()
+		}
+	}
+}
