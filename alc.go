@@ -124,6 +124,11 @@ type Config struct {
 	NetworkLatency time.Duration
 	// NetworkJitter adds uniform extra delay in [0, Jitter).
 	NetworkJitter time.Duration
+	// Batch tunes ALC's group-commit coalescer and parallel apply stage
+	// (batch caps, flush window, worker count). The zero value enables
+	// batching with the defaults; set Batch.Disable for one URB message per
+	// transaction, applied serially.
+	Batch core.BatchConfig
 }
 
 // Cluster is an in-process replicated STM deployment.
@@ -158,6 +163,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			PiggybackCert: cfg.PiggybackCertification,
 			BloomFPRate:   cfg.BloomFPRate,
 			MaxRetries:    cfg.MaxRetries,
+			Batch:         cfg.Batch,
 		},
 		Net: memnet.Config{Latency: latency, Jitter: cfg.NetworkJitter},
 		GCS: gcs.Config{

@@ -143,6 +143,46 @@ func benchCommitLatency(b *testing.B, p bench.Params) {
 	b.ReportMetric(float64(s.CommitLatency.Quantile(0.5).Microseconds()), "p50-µs")
 }
 
+// BenchmarkCommitThroughputBatched / ...Unbatched measure the group-commit
+// pipeline in its target regime: many concurrent committers per replica on
+// disjoint conflict classes (the sharded bank), where without batching every
+// transaction pays its own URB message and receiver-side admission cost.
+// Compare the commits/s metrics; the batched variant also reports the mean
+// batch size it achieved.
+func BenchmarkCommitThroughputBatched(b *testing.B) {
+	benchCommitThroughput(b, false)
+}
+
+func BenchmarkCommitThroughputUnbatched(b *testing.B) {
+	benchCommitThroughput(b, true)
+}
+
+func benchCommitThroughput(b *testing.B, disableBatching bool) {
+	b.Helper()
+	const committersPerReplica = 32
+	cfg := bench.BankConfig{
+		Sharded:  true,
+		Threads:  committersPerReplica,
+		Duration: time.Duration(b.N) * 2 * time.Millisecond,
+		Warmup:   150 * time.Millisecond,
+	}
+	if cfg.Duration < 500*time.Millisecond {
+		cfg.Duration = 500 * time.Millisecond
+	}
+	res, err := bench.RunBank(bench.Params{
+		Protocol: core.ProtocolALC, Replicas: benchReplicas,
+		DisableBatching: disableBatching,
+	}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.CommitsPerSec, "commits/s")
+	b.ReportMetric(float64(res.MeanCommitLatency.Microseconds()), "commit-µs")
+	if res.Batch.Batches > 0 {
+		b.ReportMetric(res.Batch.MeanSize, "txns/batch")
+	}
+}
+
 // BenchmarkAblationBloomEncoding regenerates one point of the D2STM Bloom
 // trade-off table: encoding size vs spurious aborts.
 func BenchmarkAblationBloomEncoding(b *testing.B) {

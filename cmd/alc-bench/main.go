@@ -10,6 +10,7 @@
 //	alc-bench -experiment ablation-opt       # §4.5 optimization ablation
 //	alc-bench -experiment ablation-cc        # conflict-class granularity sweep
 //	alc-bench -experiment ablation-bloom     # D2STM Bloom size/abort trade-off
+//	alc-bench -experiment ablation-batch     # group-commit batching + parallel apply
 //	alc-bench -experiment all
 //
 // Scale knobs: -replicas (comma list), -duration per cell, -latency one-way
@@ -38,15 +39,16 @@ func main() {
 
 func run() error {
 	var (
-		experiment  = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|all")
-		replicaArg  = flag.String("replicas", "2,3,4,5,6,7,8", "comma-separated cluster sizes for the sweeps")
-		duration    = flag.Duration("duration", 2*time.Second, "measured duration per throughput cell")
-		latCommits  = flag.Int("latency-commits", 300, "commits per latency cell")
-		grid        = flag.Int("grid", 64, "Lee board dimension (grid x grid)")
-		nets        = flag.Int("nets", 160, "Lee net count")
-		workPerRead = flag.Duration("work-per-read", 100*time.Microsecond, "Lee per-cell expansion cost (transaction length model)")
-		abCeiling   = flag.Duration("ab-ceiling", 0, "sequencer pacing per ordered message (0 = calibrated default, negative = native uncapped AB)")
-		csvPath     = flag.String("csv", "", "append results in long-format CSV to this file")
+		experiment   = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|ablation-batch|all")
+		replicaArg   = flag.String("replicas", "2,3,4,5,6,7,8", "comma-separated cluster sizes for the sweeps")
+		duration     = flag.Duration("duration", 2*time.Second, "measured duration per throughput cell")
+		latCommits   = flag.Int("latency-commits", 300, "commits per latency cell")
+		grid         = flag.Int("grid", 64, "Lee board dimension (grid x grid)")
+		nets         = flag.Int("nets", 160, "Lee net count")
+		workPerRead  = flag.Duration("work-per-read", 100*time.Microsecond, "Lee per-cell expansion cost (transaction length model)")
+		abCeiling    = flag.Duration("ab-ceiling", 0, "sequencer pacing per ordered message (0 = calibrated default, negative = native uncapped AB)")
+		csvPath      = flag.String("csv", "", "append results in long-format CSV to this file")
+		batchThreads = flag.Int("batch-threads", 32, "committer threads per replica for ablation-batch")
 	)
 	flag.Parse()
 
@@ -160,6 +162,23 @@ func run() error {
 			}
 			return nil
 		},
+		"ablation-batch": func() error {
+			const n = 4
+			cfg := bankCfg
+			cfg.Threads = *batchThreads
+			rows, err := bench.RunAblationBatch(n, cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblation(os.Stdout,
+				fmt.Sprintf("Ablation — group-commit batching + parallel apply on sharded bank (n=%d, %d threads/replica)",
+					n, *batchThreads), rows)
+			bench.PrintBatchSizes(os.Stdout, rows)
+			if csvw != nil {
+				return csvw.WriteAblation("ablation-batch", rows)
+			}
+			return nil
+		},
 		"ablation-bloom": func() error {
 			rows, err := bench.RunAblationBloom(3, []float64{0, 0.001, 0.01, 0.05, 0.15}, *duration)
 			if err != nil {
@@ -174,7 +193,7 @@ func run() error {
 		},
 	}
 
-	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality"}
+	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality", "ablation-batch"}
 	if *experiment != "all" {
 		fn, ok := experiments[*experiment]
 		if !ok {

@@ -49,20 +49,33 @@ const InitialBalance = 1000
 
 // Workload is a bank benchmark instance for a cluster of n replicas.
 type Workload struct {
-	n    int
-	mode Mode
+	n       int
+	mode    Mode
+	threads int
 }
 
 // New creates a workload for n replicas in the given mode.
 func New(n int, mode Mode) *Workload {
-	return &Workload{n: n, mode: mode}
+	return &Workload{n: n, mode: mode, threads: 1}
+}
+
+// NewSharded creates a no-conflict workload with a private account pair per
+// (replica, thread): the high-throughput regime where each replica hosts many
+// concurrent committers on disjoint conflict classes — the workload the
+// group-commit batching ablation measures.
+func NewSharded(n, threads int) *Workload {
+	if threads <= 0 {
+		threads = 1
+	}
+	return &Workload{n: n, mode: NoConflict, threads: threads}
 }
 
 // AccountID names one account.
 func AccountID(i int) string { return fmt.Sprintf("acct:%03d", i) }
 
-// NumAccounts returns the array size: numReplicas · 2, as in the paper.
-func (w *Workload) NumAccounts() int { return w.n * 2 }
+// NumAccounts returns the array size: numReplicas · threads · 2 (the paper's
+// numReplicas · 2 when unsharded).
+func (w *Workload) NumAccounts() int { return w.n * w.threads * 2 }
 
 // Seed returns the initial store content.
 func (w *Workload) Seed() map[string]stm.Value {
@@ -76,22 +89,29 @@ func (w *Workload) Seed() map[string]stm.Value {
 // TotalBalance returns the conserved sum of all balances.
 func (w *Workload) TotalBalance() int { return w.NumAccounts() * InitialBalance }
 
-// accounts returns the account pair replica r operates on.
-func (w *Workload) accounts(replica int) (string, string) {
+// accounts returns the account pair (replica, thread) operates on.
+func (w *Workload) accounts(replica, thread int) (string, string) {
 	switch w.mode {
 	case HighConflict:
 		return AccountID(0), AccountID(1)
 	default:
-		return AccountID(2 * replica), AccountID(2*replica + 1)
+		base := 2 * (replica*w.threads + thread)
+		return AccountID(base), AccountID(base + 1)
 	}
 }
 
 // Transfer returns the transaction body for one unit transfer executed by
-// the given replica: read both fragment accounts, move one unit between
-// them. The direction alternates with round so balances wander instead of
-// draining.
+// the given replica. Equivalent to TransferAt(replica, 0, round).
 func (w *Workload) Transfer(replica, round int) func(*stm.Txn) error {
-	src, dst := w.accounts(replica)
+	return w.TransferAt(replica, 0, round)
+}
+
+// TransferAt returns the transaction body for one unit transfer executed by
+// the given (replica, thread) pair: read both fragment accounts, move one
+// unit between them. The direction alternates with round so balances wander
+// instead of draining.
+func (w *Workload) TransferAt(replica, thread, round int) func(*stm.Txn) error {
+	src, dst := w.accounts(replica, thread)
 	if round%2 == 1 {
 		src, dst = dst, src
 	}

@@ -32,7 +32,7 @@ func TestNoConflictFragmentsDisjoint(t *testing.T) {
 	w := New(4, NoConflict)
 	seen := make(map[string]int)
 	for r := 0; r < 4; r++ {
-		a, b := w.accounts(r)
+		a, b := w.accounts(r, 0)
 		if a == b {
 			t.Fatalf("replica %d got identical accounts", r)
 		}
@@ -46,11 +46,35 @@ func TestNoConflictFragmentsDisjoint(t *testing.T) {
 	}
 }
 
+func TestShardedFragmentsDisjointPerThread(t *testing.T) {
+	const replicas, threads = 3, 4
+	w := NewSharded(replicas, threads)
+	if got := len(w.Seed()); got != replicas*threads*2 {
+		t.Fatalf("sharded seed has %d accounts, want %d", got, replicas*threads*2)
+	}
+	seen := make(map[string]int)
+	for r := 0; r < replicas; r++ {
+		for th := 0; th < threads; th++ {
+			a, b := w.accounts(r, th)
+			if a == b {
+				t.Fatalf("(%d,%d) got identical accounts", r, th)
+			}
+			seen[a]++
+			seen[b]++
+		}
+	}
+	for acct, n := range seen {
+		if n != 1 {
+			t.Fatalf("account %s shared by %d (replica,thread) pairs", acct, n)
+		}
+	}
+}
+
 func TestHighConflictSharedAccounts(t *testing.T) {
 	w := New(4, HighConflict)
-	a0, b0 := w.accounts(0)
+	a0, b0 := w.accounts(0, 0)
 	for r := 1; r < 4; r++ {
-		a, b := w.accounts(r)
+		a, b := w.accounts(r, 0)
 		if a != a0 || b != b0 {
 			t.Fatalf("replica %d uses %s/%s, want shared %s/%s", r, a, b, a0, b0)
 		}

@@ -165,6 +165,43 @@ func RunAblationBloom(replicas int, fpRates []float64, duration time.Duration) (
 	return rows, nil
 }
 
+// RunAblationBatch quantifies group-commit batching and the parallel apply
+// stage on the sharded high-throughput bank: every replica hosts many
+// concurrent committers on disjoint conflict classes, so without batching
+// each commit pays one URB message (and its receiver-side admission cost)
+// while the apply stage serializes on the dispatcher. Variants toggle the
+// coalescer and the parallel apply independently of each other.
+func RunAblationBatch(replicas int, cfg BankConfig) ([]AblationRow, error) {
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 32
+	}
+	variants := []struct {
+		name   string
+		params Params
+	}{
+		{"unbatched (one URB per txn, serial apply)", Params{
+			Protocol: core.ProtocolALC, Replicas: replicas, DisableBatching: true}},
+		{"batched (group commit + parallel apply)", Params{
+			Protocol: core.ProtocolALC, Replicas: replicas}},
+		{"batched, single apply worker", Params{
+			Protocol: core.ProtocolALC, Replicas: replicas,
+			Batch: core.BatchConfig{ApplyWorkers: 1}}},
+	}
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		applyCeiling(&v.params, cfg.ABCeiling)
+		res, err := RunBank(v.params, BankConfig{
+			Sharded: true, Threads: threads, Duration: cfg.Duration, Warmup: cfg.Warmup,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation-batch %q: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{Variant: v.name, Result: res, Extra: res.Batch.String()})
+	}
+	return rows, nil
+}
+
 // RunAblationLocality quantifies the paper's §6 locality-aware routing idea
 // on the high-conflict bank: when every thread submits its transfers to the
 // rendezvous-preferred owner of the shared accounts, the lease never

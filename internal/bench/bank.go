@@ -26,6 +26,12 @@ type BankConfig struct {
 	// ABCeiling overrides the calibrated sequencer pacing: 0 keeps
 	// DefaultOrderInterval, negative disables the cap (native AB).
 	ABCeiling time.Duration
+	// Sharded gives every (replica, thread) pair its own disjoint account
+	// pair (instead of the per-replica fragments of the paper's NoConflict
+	// mode), so one replica hosts Threads concurrent non-conflicting
+	// committers — the regime where group-commit batching pays. Implies
+	// NoConflict; Mode is ignored.
+	Sharded bool
 }
 
 func (c *BankConfig) fillDefaults() {
@@ -43,7 +49,12 @@ func (c *BankConfig) fillDefaults() {
 // RunBank measures one Figure 3 cell: the bank workload on a fresh cluster.
 func RunBank(p Params, cfg BankConfig) (Throughput, error) {
 	cfg.fillDefaults()
-	w := bank.New(p.Replicas, cfg.Mode)
+	var w *bank.Workload
+	if cfg.Sharded {
+		w = bank.NewSharded(p.Replicas, cfg.Threads)
+	} else {
+		w = bank.New(p.Replicas, cfg.Mode)
+	}
 	c, err := NewCluster(p, w.Seed())
 	if err != nil {
 		return Throughput{}, err
@@ -58,7 +69,7 @@ func RunBank(p Params, cfg BankConfig) (Throughput, error) {
 	for i, r := range c.Replicas() {
 		for th := 0; th < cfg.Threads; th++ {
 			wg.Add(1)
-			go func(i int, r *core.Replica) {
+			go func(i, th int, r *core.Replica) {
 				defer wg.Done()
 				for round := 0; ; round++ {
 					select {
@@ -66,12 +77,16 @@ func RunBank(p Params, cfg BankConfig) (Throughput, error) {
 						return
 					default:
 					}
-					if err := r.Atomic(w.Transfer(i, round)); err != nil {
+					body := w.Transfer(i, round)
+					if cfg.Sharded {
+						body = w.TransferAt(i, th, round)
+					}
+					if err := r.Atomic(body); err != nil {
 						errs <- fmt.Errorf("replica %d: %w", i, err)
 						return
 					}
 				}
-			}(i, r)
+			}(i, th, r)
 		}
 	}
 

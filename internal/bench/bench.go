@@ -9,6 +9,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/alcstm/alc/internal/cluster"
@@ -63,6 +64,13 @@ type Params struct {
 	UncappedAB bool
 	// OrderInterval overrides the calibration when positive.
 	OrderInterval time.Duration
+	// DisableBatching turns off ALC's group-commit coalescer and parallel
+	// apply stage: one URB message per transaction, applied serially (the
+	// pre-batching pipeline, and the ablation-batch baseline).
+	DisableBatching bool
+	// Batch overrides individual batching knobs when batching is enabled
+	// (zero value = defaults).
+	Batch core.BatchConfig
 }
 
 func (p Params) String() string {
@@ -82,6 +90,10 @@ func NewCluster(p Params, seed map[string]stm.Value) (*cluster.Cluster, error) {
 	if p.OrderInterval > 0 {
 		orderInterval = p.OrderInterval
 	}
+	batch := p.Batch
+	if p.DisableBatching {
+		batch.Disable = true
+	}
 	return cluster.New(cluster.Config{
 		N: p.Replicas,
 		Core: core.Config{
@@ -93,6 +105,7 @@ func NewCluster(p Params, seed map[string]stm.Value) (*cluster.Cluster, error) {
 			},
 			PiggybackCert: p.PiggybackCert,
 			BloomFPRate:   p.BloomFPRate,
+			Batch:         batch,
 		},
 		Net: memnet.Config{Latency: latency, PerMessageCost: DefaultPerMessageCost},
 		GCS: gcs.Config{
@@ -124,6 +137,35 @@ type Throughput struct {
 	// LeaseReuseRate is the fraction of ALC commits served by an already
 	// held lease (zero-communication commits).
 	LeaseReuseRate float64
+	// Batch aggregates the group-commit pipeline counters across replicas.
+	Batch BatchSummary
+}
+
+// BatchSummary is the cluster-wide view of the group-commit pipeline.
+type BatchSummary struct {
+	// Batches / Txns count write-set batches broadcast and the transactions
+	// they carried.
+	Batches, Txns int64
+	// MeanSize / MaxSize describe the batch-size distribution.
+	MeanSize float64
+	MaxSize  int
+	// SizePairs is the merged (size, count) distribution, sorted by size.
+	SizePairs [][2]int64
+	// Flush reason counters (why each batch was sealed).
+	FlushIdle, FlushSize, FlushBytes, FlushWindow, FlushDrain int64
+	// ApplyTasks / ApplyMaxParallel describe the parallel apply stage.
+	ApplyTasks       int64
+	ApplyMaxParallel int64
+}
+
+func (b BatchSummary) String() string {
+	if b.Batches == 0 {
+		return "batching off (or no batches)"
+	}
+	return fmt.Sprintf("batches=%d txns=%d mean=%.2f max=%d flushes[idle=%d size=%d bytes=%d window=%d drain=%d] apply[tasks=%d maxpar=%d]",
+		b.Batches, b.Txns, b.MeanSize, b.MaxSize,
+		b.FlushIdle, b.FlushSize, b.FlushBytes, b.FlushWindow, b.FlushDrain,
+		b.ApplyTasks, b.ApplyMaxParallel)
 }
 
 func summarize(p Params, c *cluster.Cluster, elapsed time.Duration) Throughput {
@@ -133,6 +175,8 @@ func summarize(p Params, c *cluster.Cluster, elapsed time.Duration) Throughput {
 	)
 	var meanLat, p99Lat time.Duration
 	var latCount int64
+	var batch BatchSummary
+	sizeCounts := map[int64]int64{}
 	for _, r := range c.Replicas() {
 		s := r.Stats()
 		commits += s.Commits
@@ -146,12 +190,41 @@ func summarize(p Params, c *cluster.Cluster, elapsed time.Duration) Throughput {
 			}
 			latCount += n
 		}
+		batch.Batches += s.Batch.Batches
+		batch.Txns += s.Batch.BatchedTxns
+		batch.FlushIdle += s.Batch.FlushIdle
+		batch.FlushSize += s.Batch.FlushSize
+		batch.FlushBytes += s.Batch.FlushBytes
+		batch.FlushWindow += s.Batch.FlushWindow
+		batch.FlushDrain += s.Batch.FlushDrain
+		batch.ApplyTasks += s.Batch.ApplyTasks
+		if int(s.Batch.ApplyMaxParallel) > int(batch.ApplyMaxParallel) {
+			batch.ApplyMaxParallel = s.Batch.ApplyMaxParallel
+		}
+		for _, pc := range s.Batch.BatchSize.Pairs() {
+			sizeCounts[pc[0]] += pc[1]
+			if int(pc[0]) > batch.MaxSize {
+				batch.MaxSize = int(pc[0])
+			}
+		}
+	}
+	if batch.Batches > 0 {
+		batch.MeanSize = float64(batch.Txns) / float64(batch.Batches)
+		sizes := make([]int64, 0, len(sizeCounts))
+		for sz := range sizeCounts {
+			sizes = append(sizes, sz)
+		}
+		sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+		for _, sz := range sizes {
+			batch.SizePairs = append(batch.SizePairs, [2]int64{sz, sizeCounts[sz]})
+		}
 	}
 	out := Throughput{
 		Params:   p,
 		Duration: elapsed,
 		Commits:  commits,
 		Aborts:   aborts,
+		Batch:    batch,
 	}
 	if elapsed > 0 {
 		out.CommitsPerSec = float64(commits) / elapsed.Seconds()

@@ -62,3 +62,20 @@ func PrintAblation(w io.Writer, title string, rows []AblationRow) {
 	}
 	_ = tw.Flush()
 }
+
+// PrintBatchSizes renders each variant's merged batch-size distribution (how
+// many write-set batches carried 1, 2, 3… transactions) — the shape behind
+// the ablation-batch throughput numbers.
+func PrintBatchSizes(w io.Writer, rows []AblationRow) {
+	for _, r := range rows {
+		b := r.Result.Batch
+		if b.Batches == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s: batch sizes", r.Variant)
+		for _, p := range b.SizePairs {
+			fmt.Fprintf(w, "  %d×%d", p[0], p[1])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -204,18 +204,19 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			held, holding = id, true
 		}
 
-		// Final validation and write-set dissemination, serialized against
-		// intersecting in-flight local write-sets (two transactions sharing
-		// a lease must not both validate against the pre-apply state).
-		tid := r.nextTxnID()
-		r.certMu.Lock()
-		if !r.waitInFlightLocked(items) {
-			r.certMu.Unlock()
+		// Final validation and write-set dissemination. The reservation in
+		// the striped in-flight table serializes intersecting local
+		// committers — two transactions sharing a lease must not both
+		// validate against the pre-apply state — while disjoint committers
+		// proceed concurrently on separate stripes. The reservation is held
+		// from before validation until the write-set's self-delivery.
+		wsCls := r.wsClasses(ws)
+		if !r.inflight.reserve(r.classes(items), wsCls, r.alive) {
 			txn.Abort()
 			return ErrEjected
 		}
 		if !txn.Validate() {
-			r.certMu.Unlock()
+			r.inflight.release(wsCls)
 			txn.Abort()
 			r.nAborts.Inc()
 			DebugAbortCounters.Final.Add(1)
@@ -223,15 +224,19 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			accum = accumulate(accum, items)
 			continue // re-execute holding the lease: no further remote aborts
 		}
+		tid := r.nextTxnID()
 		ch := r.registerWaiter(tid)
-		r.addInFlightLocked(ws)
-		err := r.gcsEP.URBroadcast(&applyWSMsg{TxnID: tid, LeaseID: held, WS: ws})
-		r.certMu.Unlock()
-		if err != nil {
-			r.removeInFlight(ws)
-			r.dropWaiter(tid)
-			txn.Abort()
-			return ErrEjected
+		if r.cfg.Batch.Disable {
+			if err := r.gcsEP.URBroadcast(&applyWSMsg{TxnID: tid, LeaseID: held, WS: ws}); err != nil {
+				r.inflight.release(wsCls)
+				r.dropWaiter(tid)
+				txn.Abort()
+				return ErrEjected
+			}
+		} else {
+			// The coalescer now owns the reservation and the waiter: both
+			// are resolved at self-delivery (or failed on ejection).
+			r.coal.enqueue(applyWSEntry{TxnID: tid, LeaseID: held, WS: ws}, wsCls)
 		}
 
 		if err := <-ch; err != nil {
@@ -310,27 +315,6 @@ func (r *Replica) leaseErr(txn *stm.Txn, err error, aborts *int) error {
 	default:
 		txn.Abort()
 		return ErrStopped
-	}
-}
-
-// waitInFlightLocked blocks (releasing certMu while waiting) until no
-// in-flight local write-set intersects items. Returns false on ejection.
-func (r *Replica) waitInFlightLocked(items []string) bool {
-	for {
-		if !r.primary.Load() || r.stopped.Load() {
-			return false
-		}
-		conflict := false
-		for _, b := range items {
-			if r.inFlight[b] > 0 {
-				conflict = true
-				break
-			}
-		}
-		if !conflict {
-			return true
-		}
-		r.certCond.Wait()
 	}
 }
 

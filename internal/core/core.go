@@ -99,6 +99,9 @@ type Config struct {
 	// discarded). Zero selects the default of 4096; negative disables
 	// automatic GC (Store.GC can still be called manually).
 	GCEvery int
+	// Batch tunes the group-commit coalescer and the parallel apply stage
+	// (ALC only; CERT applies in the total order, on the dispatcher).
+	Batch BatchConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -111,16 +114,41 @@ func (c *Config) fillDefaults() {
 	if c.GCEvery == 0 {
 		c.GCEvery = 4096
 	}
+	c.Batch.fillDefaults()
 }
 
-// Stats is a snapshot of a replica's protocol counters.
+// Stats is a point-in-time snapshot of a replica's protocol counters. All
+// fields are immutable values: safe to retain and read while the replica
+// keeps committing.
 type Stats struct {
 	Commits       int64
 	Aborts        int64 // certification/validation failures (before retry)
 	ReadOnly      int64
 	Lease         lease.Stats
-	RetriesPerTxn *metrics.IntDist // aborts suffered per committed txn
-	CommitLatency *metrics.Histogram
+	RetriesPerTxn metrics.IntDistSnapshot // aborts suffered per committed txn
+	CommitLatency metrics.HistogramSnapshot
+	Batch         BatchStats
+}
+
+// BatchStats describes the group-commit coalescer and the parallel apply
+// stage.
+type BatchStats struct {
+	// Batches is the number of write-set batches URB-broadcast; BatchedTxns
+	// is the number of transactions they carried.
+	Batches     int64
+	BatchedTxns int64
+	// BatchSize is the distribution of transactions per batch.
+	BatchSize metrics.IntDistSnapshot
+	// Flush counters, by trigger: idle pipe (no batch in flight — broadcast
+	// immediately, zero added latency), the MaxTxns/MaxBytes caps, the
+	// MaxDelay window, and drain (previous batch self-delivered with
+	// entries pending).
+	FlushIdle, FlushSize, FlushBytes, FlushWindow, FlushDrain int64
+	// ApplyTasks counts apply-stage executions (batches, not transactions);
+	// ApplyMaxParallel is the high-watermark of concurrently running apply
+	// workers.
+	ApplyTasks       int64
+	ApplyMaxParallel int64
 }
 
 // AbortRate returns aborts / (aborts + commits).
@@ -142,14 +170,13 @@ type Replica struct {
 	gcsEP *gcs.Endpoint
 	lm    *lease.Manager
 
-	// Commit pipeline state: boxes written by local transactions whose
-	// write-sets are broadcast but not yet self-delivered. Local validation
-	// must not run while an intersecting write-set is in flight, or two
-	// transactions under the same lease could both validate against the
-	// pre-apply state (lost update).
-	certMu   sync.Mutex
-	certCond *sync.Cond
-	inFlight map[string]int
+	// Commit pipeline: the striped in-flight table serializes intersecting
+	// local committers (see inflightTable for the lost-update invariant),
+	// the coalescer batches their write-set broadcasts, and the scheduler
+	// applies delivered write-sets on a worker pool.
+	inflight *inflightTable
+	coal     *coalescer
+	sched    *applyScheduler
 
 	// Waiters for commit outcomes, keyed by transaction ID.
 	waitMu  sync.Mutex
@@ -160,6 +187,7 @@ type Replica struct {
 
 	txnSeq  atomic.Uint64
 	applies atomic.Int64 // applied write-sets since the last automatic GC
+	gcMu    sync.Mutex   // keeps version-history collections serial
 	primary atomic.Bool
 	stopped atomic.Bool
 
@@ -167,11 +195,14 @@ type Replica struct {
 	view     gcs.View
 	viewCond *sync.Cond
 
-	nCommits  metrics.Counter
-	nAborts   metrics.Counter
-	nReadOnly metrics.Counter
-	retries   *metrics.IntDist
-	latency   metrics.Histogram
+	nCommits    metrics.Counter
+	nAborts     metrics.Counter
+	nReadOnly   metrics.Counter
+	retries     *metrics.IntDist
+	latency     metrics.Histogram
+	batchSizes  *metrics.IntDist
+	batchedTxns metrics.Counter
+	flushCount  [numFlushReasons]metrics.Counter
 }
 
 // NewReplica wires a replica over the given transport. The GCS endpoint is
@@ -179,15 +210,19 @@ type Replica struct {
 func NewReplica(tr transport.Transport, cfg Config, gcsCfg gcs.Config) (*Replica, error) {
 	cfg.fillDefaults()
 	r := &Replica{
-		id:       tr.Self(),
-		cfg:      cfg,
-		store:    stm.NewStore(),
-		inFlight: make(map[string]int),
-		waiters:  make(map[stm.TxnID]chan error),
-		certLog:  newCertLog(cfg.CertLogSize),
-		retries:  metrics.NewIntDist(),
+		id:         tr.Self(),
+		cfg:        cfg,
+		store:      stm.NewStore(),
+		inflight:   newInflightTable(),
+		waiters:    make(map[stm.TxnID]chan error),
+		certLog:    newCertLog(cfg.CertLogSize),
+		retries:    metrics.NewIntDist(),
+		batchSizes: metrics.NewIntDist(),
 	}
-	r.certCond = sync.NewCond(&r.certMu)
+	r.coal = newCoalescer(r, cfg.Batch)
+	if !cfg.Batch.Disable {
+		r.sched = newApplyScheduler(cfg.Batch.ApplyWorkers)
+	}
 	r.viewCond = sync.NewCond(&r.viewMu)
 	r.primary.Store(!gcsCfg.Joining)
 
@@ -221,16 +256,32 @@ func (r *Replica) GCS() *gcs.Endpoint { return r.gcsEP }
 // InPrimary reports whether the replica is in the primary component.
 func (r *Replica) InPrimary() bool { return r.primary.Load() }
 
-// Stats returns a snapshot of the replica's counters.
+// Stats returns an immutable snapshot of the replica's counters.
 func (r *Replica) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Commits:       r.nCommits.Value(),
 		Aborts:        r.nAborts.Value(),
 		ReadOnly:      r.nReadOnly.Value(),
 		Lease:         r.lm.Stats(),
-		RetriesPerTxn: r.retries,
-		CommitLatency: &r.latency,
+		RetriesPerTxn: r.retries.Freeze(),
+		CommitLatency: r.latency.Snapshot(),
+		Batch: BatchStats{
+			BatchedTxns: r.batchedTxns.Value(),
+			BatchSize:   r.batchSizes.Freeze(),
+			FlushIdle:   r.flushCount[flushIdle].Value(),
+			FlushSize:   r.flushCount[flushSize].Value(),
+			FlushBytes:  r.flushCount[flushBytes].Value(),
+			FlushWindow: r.flushCount[flushWindow].Value(),
+			FlushDrain:  r.flushCount[flushDrain].Value(),
+		},
 	}
+	s.Batch.Batches = s.Batch.BatchSize.Count()
+	if r.sched != nil {
+		tasks, maxPar := r.sched.stats()
+		s.Batch.ApplyTasks = tasks
+		s.Batch.ApplyMaxParallel = int64(maxPar)
+	}
+	return s
 }
 
 // WaitForView blocks until a view with at least n members is installed
@@ -256,9 +307,17 @@ func (r *Replica) Close() error {
 	if r.stopped.Swap(true) {
 		return nil
 	}
+	r.coal.stop()
 	r.failAllWaiters(ErrStopped)
+	r.inflight.reset()
 	r.lm.Close()
-	return r.gcsEP.Close()
+	err := r.gcsEP.Close()
+	if r.sched != nil {
+		// The dispatcher has exited: no further submissions. Let the
+		// workers finish the queue and terminate.
+		r.sched.close()
+	}
+	return err
 }
 
 // Seed initializes boxes directly in the local store, before the replica
@@ -278,14 +337,19 @@ func (r *Replica) nextTxnID() stm.TxnID {
 }
 
 // maybeGC prunes version histories after every cfg.GCEvery applied
-// write-sets. Called on the dispatcher after each apply, so GC never races
-// a concurrent apply (readers are lock-free and unaffected).
+// write-sets. With the parallel apply stage this can run concurrently with
+// other applies: that is safe — applies only prepend versions newer than the
+// GC watermark, and gcMu keeps collections themselves serial — but only one
+// collection runs at a time (TryLock) so workers never queue up on GC.
 func (r *Replica) maybeGC() {
 	if r.cfg.GCEvery <= 0 {
 		return
 	}
 	if r.applies.Add(1)%int64(r.cfg.GCEvery) == 0 {
-		r.store.GC()
+		if r.gcMu.TryLock() {
+			r.store.GC()
+			r.gcMu.Unlock()
+		}
 	}
 }
 
@@ -328,21 +392,22 @@ func (r *Replica) failAllWaiters(err error) {
 
 // --- In-flight write-set tracking ----------------------------------------------
 
-func (r *Replica) addInFlightLocked(ws stm.WriteSet) {
-	for _, e := range ws {
-		r.inFlight[e.Box]++
-	}
+// classes maps box IDs to their conflict classes via the lease
+// configuration's mapper (the same classes leases are taken over).
+func (r *Replica) classes(ids []string) []lease.ConflictClass {
+	return r.cfg.Lease.Mapper.Classes(ids)
 }
 
-func (r *Replica) removeInFlight(ws stm.WriteSet) {
-	r.certMu.Lock()
-	for _, e := range ws {
-		if r.inFlight[e.Box] <= 1 {
-			delete(r.inFlight, e.Box)
-		} else {
-			r.inFlight[e.Box]--
-		}
+// wsClasses returns the conflict classes of a write-set.
+func (r *Replica) wsClasses(ws stm.WriteSet) []lease.ConflictClass {
+	boxes := make([]string, len(ws))
+	for i, e := range ws {
+		boxes[i] = e.Box
 	}
-	r.certCond.Broadcast()
-	r.certMu.Unlock()
+	return r.classes(boxes)
+}
+
+// alive reports whether the replica can still commit update transactions.
+func (r *Replica) alive() bool {
+	return r.primary.Load() && !r.stopped.Load()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/stm"
 	"github.com/alcstm/alc/internal/transport"
 )
 
@@ -24,11 +25,14 @@ func (h *gcsHandler) OnOptDeliver(from transport.ID, body any) {
 }
 
 // OnTODeliver routes totally ordered messages: lease requests to the lease
-// manager, certification messages to the CERT validator.
+// manager, certification messages to the CERT validator. Lease handling
+// reads the store (piggybacked certification, lease handover), so the apply
+// stage is drained first: everything delivered earlier is fully applied.
 func (h *gcsHandler) OnTODeliver(from transport.ID, body any) {
 	r := h.rep()
 	switch m := body.(type) {
 	case *lease.Request:
+		r.drainApplies()
 		r.lm.HandleRequestTO(m)
 	case *certMsg:
 		r.certApply(m)
@@ -41,8 +45,13 @@ func (h *gcsHandler) OnURDeliver(from transport.ID, body any) {
 	r := h.rep()
 	switch m := body.(type) {
 	case *applyWSMsg:
-		r.applyWS(m)
+		r.enqueueApply(from, []applyWSEntry{{TxnID: m.TxnID, LeaseID: m.LeaseID, WS: m.WS}}, false)
+	case *applyWSBatchMsg:
+		r.enqueueApply(from, m.Entries, true)
 	case *lease.Freed:
+		// A lease may only move to its next holder after every write-set
+		// it covered is applied: drain before processing the release.
+		r.drainApplies()
 		r.lm.HandleFreed(m)
 	}
 }
@@ -50,6 +59,7 @@ func (h *gcsHandler) OnURDeliver(from transport.ID, body any) {
 // OnViewChange installs the new membership.
 func (h *gcsHandler) OnViewChange(v gcs.View) {
 	r := h.rep()
+	r.drainApplies()
 	r.viewMu.Lock()
 	r.view = v
 	r.viewCond.Broadcast()
@@ -63,16 +73,22 @@ func (h *gcsHandler) OnViewChange(v gcs.View) {
 func (h *gcsHandler) OnEjected() {
 	r := h.rep()
 	r.primary.Store(false)
+	r.drainApplies()
 	r.lm.HandleEjected()
+	// Order matters: with primary already false, a committer that enqueues
+	// after this fail is rejected by the coalescer itself, so no stale
+	// write-set can linger and be broadcast after a rejoin.
+	r.coal.fail(ErrEjected)
 	r.failAllWaiters(ErrEjected)
-	r.certMu.Lock()
-	r.certCond.Broadcast()
-	r.certMu.Unlock()
+	// Clear reservations (their write-sets will never self-deliver) and
+	// wake waiting committers so they observe the ejection.
+	r.inflight.reset()
 }
 
 // StateSnapshot captures the replica's full application state for a joiner.
 func (h *gcsHandler) StateSnapshot() any {
 	r := h.rep()
+	r.drainApplies()
 	return &xferState{
 		Store:   r.store.Snapshot(),
 		Leases:  r.lm.SnapshotState(),
@@ -87,21 +103,70 @@ func (h *gcsHandler) InstallState(state any) {
 		return
 	}
 	r := h.rep()
+	r.drainApplies()
+	// Anything still queued locally predates the transferred state and is
+	// void (the joiner's waiters were already failed at ejection).
+	r.coal.fail(ErrEjected)
+	r.inflight.reset()
 	r.store.Restore(st.Store)
 	r.lm.InstallState(st.Leases)
 	r.certLog.restore(st.CertLog)
 }
 
-// applyWS applies a lease-certified write-set (UR-delivered). For remotely
-// executed transactions this is the paper's commitRemoteXact; for the
-// replica's own transactions it is the commit confirmation that resolves the
-// waiting commit call (committedXact).
-func (r *Replica) applyWS(m *applyWSMsg) {
-	r.store.ApplyWriteSet(m.TxnID, m.WS)
-	r.maybeGC()
-	if m.TxnID.Replica == r.id {
-		r.removeInFlight(m.WS)
-		r.resolveWaiter(m.TxnID, nil)
+// drainApplies blocks the dispatcher until the apply stage has executed
+// every delivered write-set. Upcalls that read or replace the store — lease
+// transfers, view changes, state snapshot/install — run behind this barrier
+// and therefore observe exactly the synchronous delivery semantics of the
+// unbatched pipeline.
+func (r *Replica) drainApplies() {
+	if r.sched != nil {
+		r.sched.drain()
+	}
+}
+
+// enqueueApply hands UR-delivered write-sets (the paper's commitRemoteXact;
+// for the replica's own transactions, the commit confirmation) to the
+// parallel apply stage, or applies them inline when batching is disabled.
+// Entries of one message apply in order; messages of one sender or with
+// intersecting conflict classes apply in delivery order; everything else
+// runs concurrently on the worker pool.
+func (r *Replica) enqueueApply(from transport.ID, entries []applyWSEntry, fromBatch bool) {
+	if r.sched == nil {
+		r.applyEntries(entries, fromBatch)
+		return
+	}
+	boxes := make([]string, 0, len(entries)*2)
+	for _, e := range entries {
+		for _, w := range e.WS {
+			boxes = append(boxes, w.Box)
+		}
+	}
+	r.sched.submit(&applyTask{
+		classes: r.classes(boxes),
+		sender:  from,
+		run:     func() { r.applyEntries(entries, fromBatch) },
+	})
+}
+
+// applyEntries installs a delivered batch under one acquisition of the
+// store's commit lock and resolves the local waiters it carries.
+func (r *Replica) applyEntries(entries []applyWSEntry, fromBatch bool) {
+	batch := make([]stm.TxnWriteSet, len(entries))
+	for i, e := range entries {
+		batch[i] = stm.TxnWriteSet{Writer: e.TxnID, WS: e.WS}
+	}
+	r.store.ApplyWriteSets(batch)
+	mine := false
+	for _, e := range entries {
+		r.maybeGC()
+		if e.TxnID.Replica == r.id {
+			mine = true
+			r.inflight.release(r.wsClasses(e.WS))
+			r.resolveWaiter(e.TxnID, nil)
+		}
+	}
+	if mine && fromBatch {
+		r.coal.batchDelivered()
 	}
 }
 

@@ -22,6 +22,22 @@ type applyWSMsg struct {
 	WS      stm.WriteSet
 }
 
+// applyWSEntry is one transaction's write-set inside an applyWSBatchMsg.
+type applyWSEntry struct {
+	TxnID   stm.TxnID
+	LeaseID lease.RequestID
+	WS      stm.WriteSet
+}
+
+// applyWSBatchMsg is the group-commit form of applyWSMsg: every write-set
+// the sender's commit coalescer accumulated while its previous batch was in
+// flight, disseminated as a single causally ordered URB message. Entries are
+// in the sender's commit order and are applied in that order wherever they
+// intersect.
+type applyWSBatchMsg struct {
+	Entries []applyWSEntry
+}
+
 // certMsg disseminates a transaction for AB-based certification (CERT
 // baseline): the Bloom-encoded (or exact) read-set and the write-set,
 // TO-delivered and validated deterministically at every replica.
@@ -93,6 +109,7 @@ type xferState struct {
 // must additionally be registered by the application (RegisterValue).
 func RegisterWire() {
 	gob.Register(&applyWSMsg{})
+	gob.Register(&applyWSBatchMsg{})
 	gob.Register(&certMsg{})
 	gob.Register(&certPayload{})
 	gob.Register(&lease.Request{})

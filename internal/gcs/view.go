@@ -50,9 +50,17 @@ func (e *Endpoint) handleNet(msg transport.Message) {
 	case *heartbeat:
 		// Liveness already recorded. A beacon from a process stuck in an
 		// older view tells the coordinator to pull it back in through a
-		// state transfer.
+		// state transfer. Right after a view install every member's in-flight
+		// beacons still carry the old view, so a single stale beacon must not
+		// be trusted: a beacon at the current view proves the sender has the
+		// current state and cancels the pull — otherwise a healthy member
+		// would be re-admitted as a joiner and have its application state
+		// (including its live lease requests) spuriously wiped by the
+		// transfer.
 		if m.View < e.view.ID && e.isCoordinatorLocked() && e.view.Contains(m.From) {
 			e.joinReqs[m.From] = true
+		} else if m.View == e.view.ID {
+			delete(e.joinReqs, m.From)
 		}
 	case *joinReq:
 		if e.inPrimary {

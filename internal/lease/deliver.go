@@ -128,7 +128,19 @@ func (m *Manager) HandleViewChange(members []transport.ID, fresh []transport.ID)
 	}
 	m.mu.Lock()
 	m.inPrimary = true
-	m.earlyFreed = make(map[RequestID]bool)
+	// Purge buffered early releases like the requests themselves: entries of
+	// departed or reborn processes are dangerous (a restarted replica reuses
+	// its RequestID sequence, so a stale entry would silently kill its next
+	// request), but a SURVIVOR's entry must be kept — its request can still
+	// be TO-delivered after this view change (an OAB message caught by the
+	// flush without a total-order entry is re-ordered in the new view), and
+	// dropping the buffered release would enqueue the request as a permanent
+	// zombie at the head of its class queues.
+	for id := range m.earlyFreed {
+		if !in[id.Proc] || (reborn[id.Proc] && id.Proc != m.self) {
+			delete(m.earlyFreed, id)
+		}
+	}
 	for id, st := range m.reqs {
 		if !in[id.Proc] || (reborn[id.Proc] && id.Proc != m.self) {
 			m.dequeueLocked(st)

@@ -71,6 +71,18 @@ func (m *Manager) InstallState(st *State) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
+	// A state-bearing install can land while local acquisitions are in
+	// flight (a member re-admitted through a state transfer it did not
+	// need). The table rebuild below would orphan their reqState objects —
+	// waiters blocked on them would never be woken again — so abort them
+	// first: the callers observe ErrDeadlock and retry under a fresh
+	// request against the installed table.
+	for _, rs := range m.reqs {
+		if rs.local && !rs.freed {
+			rs.aborted = true
+		}
+	}
+
 	m.queues = make(map[ConflictClass][]*reqState, len(st.Queues))
 	m.reqs = make(map[RequestID]*reqState, len(st.Requests))
 	m.earlyFreed = make(map[RequestID]bool)

@@ -83,6 +83,68 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Snapshot returns an immutable copy of the histogram. Snapshots are plain
+// values: safe to retain, compare and read concurrently while the live
+// histogram keeps observing.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+		s.count += s.buckets[i]
+	}
+	s.sum = h.sum.Load()
+	s.max = h.max.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time, immutable copy of a Histogram with
+// the same read API.
+type HistogramSnapshot struct {
+	buckets [_numBuckets]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Count returns the number of observations.
+func (s HistogramSnapshot) Count() int64 { return s.count }
+
+// Mean returns the mean observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.sum / s.count)
+}
+
+// Max returns the largest observed duration.
+func (s HistogramSnapshot) Max() time.Duration { return time.Duration(s.max) }
+
+// Quantile returns an upper bound for the q-quantile at bucket resolution.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(s.count)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < _numBuckets; i++ {
+		seen += s.buckets[i]
+		if seen >= target {
+			return _bucketBounds[i]
+		}
+	}
+	return _bucketBounds[_numBuckets-1]
+}
+
+// String formats the key percentiles.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.Count(), s.Mean(), s.Quantile(0.50), s.Quantile(0.99), s.Max())
+}
+
 // Mean returns the mean observed duration.
 func (h *Histogram) Mean() time.Duration {
 	n := h.count.Load()
@@ -189,6 +251,80 @@ func (d *IntDist) Max() int {
 		}
 	}
 	return m
+}
+
+// Freeze returns an immutable copy of the distribution. Freezes are plain
+// values: safe to retain and read concurrently while the live distribution
+// keeps observing.
+func (d *IntDist) Freeze() IntDistSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := IntDistSnapshot{total: d.total, sum: d.sum}
+	if len(d.counts) > 0 {
+		s.counts = make(map[int]int64, len(d.counts))
+		for k, v := range d.counts {
+			s.counts[k] = v
+		}
+	}
+	return s
+}
+
+// IntDistSnapshot is a point-in-time, immutable copy of an IntDist with the
+// same read API. The zero value is an empty distribution.
+type IntDistSnapshot struct {
+	counts map[int]int64
+	total  int64
+	sum    int64
+}
+
+// Count returns the number of observations.
+func (s IntDistSnapshot) Count() int64 { return s.total }
+
+// Mean returns the mean observed value.
+func (s IntDistSnapshot) Mean() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.sum) / float64(s.total)
+}
+
+// FractionAtMost returns the fraction of observations <= v.
+func (s IntDistSnapshot) FractionAtMost(v int) float64 {
+	if s.total == 0 {
+		return 1
+	}
+	var n int64
+	for k, c := range s.counts {
+		if k <= v {
+			n += c
+		}
+	}
+	return float64(n) / float64(s.total)
+}
+
+// Max returns the largest observed value.
+func (s IntDistSnapshot) Max() int {
+	m := 0
+	for k := range s.counts {
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}
+
+// Pairs returns the (value, count) pairs sorted by value.
+func (s IntDistSnapshot) Pairs() [][2]int64 {
+	keys := make([]int, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][2]int64, len(keys))
+	for i, k := range keys {
+		out[i] = [2]int64{int64(k), s.counts[k]}
+	}
+	return out
 }
 
 // Snapshot returns the (value, count) pairs sorted by value.

@@ -214,6 +214,27 @@ func (s *Store) ApplyWriteSet(writer TxnID, ws WriteSet) int64 {
 	return s.applyLocked(writer, ws)
 }
 
+// TxnWriteSet pairs a write-set with the transaction that produced it, for
+// bulk application.
+type TxnWriteSet struct {
+	Writer TxnID
+	WS     WriteSet
+}
+
+// ApplyWriteSets installs a batch of write-sets under a single acquisition
+// of the commit lock, in order; each write-set still gets its own commit
+// timestamp. It returns the timestamp of the last write-set applied (the new
+// commit clock), or the current clock when the batch is empty.
+func (s *Store) ApplyWriteSets(batch []TxnWriteSet) int64 {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	ts := s.clock.Load()
+	for _, t := range batch {
+		ts = s.applyLocked(t.Writer, t.WS)
+	}
+	return ts
+}
+
 func (s *Store) applyLocked(writer TxnID, ws WriteSet) int64 {
 	ts := s.clock.Load() + 1
 	for _, e := range ws {

@@ -13,6 +13,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -195,7 +196,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 		<-t.done
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 64<<10))
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
@@ -231,17 +232,48 @@ func (p *peer) enqueue(payload any) {
 
 func (p *peer) close() { p.once.Do(func() { close(p.stop) }) }
 
-// run dials, streams the queue, and re-dials on failure.
+// frameBuf is a reusable encode buffer. The gob encoder holds a reference to
+// it for the lifetime of a connection (a gob stream must keep one encoder:
+// restarting it would re-issue wire type IDs and desynchronize the peer's
+// decoder), so the buffer is reset in place between frames rather than
+// reallocated. reset clamps retained capacity so one oversized frame (e.g. a
+// state-transfer snapshot) does not pin its allocation forever.
+type frameBuf struct {
+	b []byte
+}
+
+// frameBufClamp is the largest capacity reset retains across frames.
+const frameBufClamp = 256 << 10
+
+func (f *frameBuf) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
+}
+
+func (f *frameBuf) reset() {
+	if cap(f.b) > frameBufClamp {
+		f.b = nil
+		return
+	}
+	f.b = f.b[:0]
+}
+
+// run dials, streams the queue, and re-dials on failure. Each envelope is gob-
+// encoded into a reused buffer and written to the socket as a single Write:
+// gob's internal per-message segments never hit the network individually, and
+// steady-state sends allocate nothing for framing.
 func (p *peer) run() {
 	defer p.t.wg.Done()
 	var (
 		conn net.Conn
 		enc  *gob.Encoder
+		buf  frameBuf
 	)
 	disconnect := func() {
 		if conn != nil {
 			_ = conn.Close()
 			conn, enc = nil, nil
+			buf.b = nil
 		}
 	}
 	defer disconnect()
@@ -269,9 +301,14 @@ func (p *peer) run() {
 				}
 				continue
 			}
-			conn, enc = c, gob.NewEncoder(c)
+			conn, enc = c, gob.NewEncoder(&buf)
 		}
+		buf.reset()
 		if err := enc.Encode(envelope{From: p.t.cfg.Self, Payload: payload}); err != nil {
+			disconnect()
+			continue
+		}
+		if _, err := conn.Write(buf.b); err != nil {
 			disconnect()
 		}
 	}

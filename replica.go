@@ -149,9 +149,12 @@ type Stats struct {
 	Deadlocks int64
 	// RetriesPerTxn is the distribution of aborts suffered per committed
 	// transaction.
-	RetriesPerTxn *metrics.IntDist
+	RetriesPerTxn metrics.IntDistSnapshot
 	// CommitLatency is the distribution of commit-phase durations.
-	CommitLatency *metrics.Histogram
+	CommitLatency metrics.HistogramSnapshot
+	// Batch describes the group-commit coalescer and the parallel apply
+	// stage (ALC).
+	Batch core.BatchStats
 }
 
 // AbortRate returns Aborts / (Aborts + Commits).
@@ -174,5 +177,6 @@ func statsFrom(s core.Stats) Stats {
 		Deadlocks:     s.Lease.Deadlocks,
 		RetriesPerTxn: s.RetriesPerTxn,
 		CommitLatency: s.CommitLatency,
+		Batch:         s.Batch,
 	}
 }
