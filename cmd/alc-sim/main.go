@@ -1,0 +1,104 @@
+// Command alc-sim replays one deterministic simulation seed with verbose
+// tracing. It is the debugging companion to the internal/sim test suite:
+// when TestSimSeeds reports a failing seed, this command re-runs exactly
+// that schedule — same fault timeline, same workload op streams — and
+// prints every failure event, the schedule, and the checker verdict.
+//
+// Usage:
+//
+//	alc-sim -seed=123456789           # replay one seed, verbose
+//	alc-sim -seed=123456789 -n=20     # replay it 20 times (flaky hunts)
+//	alc-sim -seed=123456789 -trace    # also dump lease-manager transitions
+//
+// Exit status is 1 if any run fails, 0 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/alcstm/alc/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alc-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed    = flag.Int64("seed", 0, "schedule seed to replay (required)")
+		n       = flag.Int("n", 1, "number of replays (a failure anywhere fails the command)")
+		threads = flag.Int("threads", 0, "load threads per replica (0 = harness default)")
+		load    = flag.Duration("load", 0, "load-phase duration (0 = harness default)")
+		quiet   = flag.Bool("q", false, "suppress event tracing, print only summaries")
+		trace   = flag.Bool("trace", false, "dump lease-manager state transitions for failing runs")
+	)
+	flag.Parse()
+	if *seed == 0 && flag.Lookup("seed").Value.String() == "0" {
+		// Seed 0 is a legal schedule seed, but an unset flag is the common
+		// mistake; require it explicitly.
+		if !flagPassed("seed") {
+			flag.Usage()
+			return fmt.Errorf("missing -seed")
+		}
+	}
+
+	failures := 0
+	for i := 0; i < *n; i++ {
+		cfg := sim.Config{Seed: *seed, Threads: *threads, Load: *load}
+		if !*quiet {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Printf("  "+format+"\n", args...)
+			}
+		}
+		var (
+			mu    sync.Mutex
+			lines []string
+			start = time.Now()
+		)
+		if *trace {
+			cfg.LeaseTrace = func(format string, args ...any) {
+				line := fmt.Sprintf("  %9.3fms %s",
+					float64(time.Since(start).Microseconds())/1000, fmt.Sprintf(format, args...))
+				mu.Lock()
+				lines = append(lines, line)
+				if len(lines) > 8000 {
+					lines = lines[len(lines)-8000:]
+				}
+				mu.Unlock()
+			}
+		}
+		res := sim.Run(cfg)
+		fmt.Printf("run %d/%d: %s\n", i+1, *n, res.Summary())
+		if !res.OK() {
+			failures++
+			if *trace {
+				mu.Lock()
+				for _, l := range lines {
+					fmt.Println(l)
+				}
+				mu.Unlock()
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d/%d runs failed", failures, *n)
+	}
+	return nil
+}
+
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}

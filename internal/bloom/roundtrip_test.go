@@ -1,0 +1,86 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/alcstm/alc/internal/randseed"
+)
+
+// TestRoundTripFPRateProperty is the property the CERT write-set broadcast
+// relies on: after a filter crosses the wire (Marshal → Unmarshal), (a) every
+// member is still reported present (no false negatives, ever — a false
+// negative would certify a genuinely conflicting transaction), and (b) the
+// observed false-positive rate on the DECODED filter stays near the
+// configured target (false positives only cost spurious aborts, but a
+// decode that inflates them would silently degrade D2STM's throughput).
+// Exercised across a spread of set sizes and target rates with seeded keys.
+func TestRoundTripFPRateProperty(t *testing.T) {
+	root := randseed.Root()
+	t.Logf("bloom property seed %d; reproduce with %s=%d go test -run TestRoundTripFPRateProperty ./internal/bloom/",
+		root, randseed.EnvVar, root)
+
+	cases := []struct {
+		n      int
+		target float64
+	}{
+		{10, 0.01},
+		{100, 0.01},
+		{1000, 0.01},
+		{1000, 0.001},
+		{5000, 0.05},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("n=%d_p=%g", tc.n, tc.target), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(
+				randseed.Derive(root, fmt.Sprintf("bloom-roundtrip-%d", ci))))
+			f := NewWithFPRate(tc.n, tc.target)
+			members := make([]string, tc.n)
+			for i := range members {
+				members[i] = fmt.Sprintf("box:%d:%d", rng.Int63(), i)
+			}
+			f.AddAll(members)
+
+			decoded, err := Unmarshal(f.Marshal())
+			if err != nil {
+				t.Fatalf("round-trip: %v", err)
+			}
+			if decoded.Bits() != f.Bits() || decoded.K() != f.K() || decoded.Len() != f.Len() {
+				t.Fatalf("round-trip changed parameters: m %d→%d, k %d→%d, n %d→%d",
+					f.Bits(), decoded.Bits(), f.K(), decoded.K(), f.Len(), decoded.Len())
+			}
+
+			// (a) no false negatives after decode.
+			for _, m := range members {
+				if !decoded.Contains(m) {
+					t.Fatalf("false negative after round-trip: %q", m)
+				}
+			}
+
+			// (b) FP rate near target after decode. 4x headroom absorbs
+			// integer rounding of m and k plus probe-sampling noise at the
+			// small probe counts the cheap cases afford.
+			const probes = 20000
+			fp := 0
+			for i := 0; i < probes; i++ {
+				if decoded.Contains(fmt.Sprintf("probe:%d:%d", rng.Int63(), i)) {
+					fp++
+				}
+			}
+			rate := float64(fp) / probes
+			if rate > tc.target*4 {
+				t.Fatalf("decoded filter FP rate %.5f exceeds 4x target %.5f", rate, tc.target)
+			}
+			// The decoded filter must agree with the original bit-for-bit on
+			// behavior, not just on rate: re-probe a sample through both.
+			for i := 0; i < 2000; i++ {
+				s := fmt.Sprintf("agree:%d", rng.Int63())
+				if f.Contains(s) != decoded.Contains(s) {
+					t.Fatalf("original and decoded filters disagree on %q", s)
+				}
+			}
+		})
+	}
+}

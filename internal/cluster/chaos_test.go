@@ -9,6 +9,7 @@ import (
 	"github.com/alcstm/alc/internal/core"
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/memnet"
+	"github.com/alcstm/alc/internal/randseed"
 	"github.com/alcstm/alc/internal/stm"
 )
 
@@ -80,7 +81,10 @@ func TestChaosChurn(t *testing.T) {
 		}
 	}()
 
-	rng := rand.New(rand.NewSource(99))
+	root := randseed.Root()
+	t.Logf("chaos seed %d; reproduce with %s=%d go test -run TestChaosChurn ./internal/cluster/",
+		root, randseed.EnvVar, root)
+	rng := rand.New(rand.NewSource(randseed.Derive(root, "chaos-churn")))
 	crashed := map[int]bool{}
 	partitioned := false
 	for round := 0; round < rounds; round++ {

@@ -172,6 +172,41 @@ func (c *Cluster) Partition(groups ...[]int) {
 // Heal removes all partitions.
 func (c *Cluster) Heal() { c.net.Heal() }
 
+// SetFaults installs (or, with the zero Faults, clears) seeded message-fault
+// injection on the cluster's network (drop/duplicate/delay-spike per link).
+func (c *Cluster) SetFaults(f memnet.Faults) { c.net.SetFaults(f) }
+
+// VersionOrders collects every live replica's per-box version-writer order
+// (oldest first), keyed by replica then box — the raw material of the offline
+// history checker (internal/history). Collect only when the cluster is
+// quiescent and converged, or the orders are racing the apply pipeline.
+func (c *Cluster) VersionOrders() map[transport.ID]map[string][]stm.TxnID {
+	out := make(map[transport.ID]map[string][]stm.TxnID)
+	for _, r := range c.Replicas() {
+		store := r.Store()
+		orders := make(map[string][]stm.TxnID)
+		for _, bs := range store.Snapshot().Boxes {
+			orders[bs.Box] = store.VersionWriters(bs.Box)
+		}
+		out[r.ID()] = orders
+	}
+	return out
+}
+
+// FullHistoryReplicas returns the live replicas whose stores were never
+// state-transfer-restored (stm.Store.Restores() == 0): their version
+// histories are complete, which makes them exact witnesses for the history
+// checker — provided automatic GC is disabled (core.Config.GCEvery < 0).
+func (c *Cluster) FullHistoryReplicas() []transport.ID {
+	var out []transport.ID
+	for _, r := range c.Replicas() {
+		if r.Store().Restores() == 0 {
+			out = append(out, r.ID())
+		}
+	}
+	return out
+}
+
 // Close shuts everything down.
 func (c *Cluster) Close() {
 	c.mu.Lock()

@@ -20,12 +20,18 @@ var DebugAbortCounters struct {
 // from its transactional reads and writes. A non-nil error from fn aborts
 // the transaction and is returned verbatim.
 func (r *Replica) Atomic(fn func(*stm.Txn) error) error {
+	r.observeInvoked()
+	var err error
 	switch r.cfg.Protocol {
 	case ProtocolCert:
-		return r.atomicCert(fn)
+		err = r.atomicCert(fn)
 	default:
-		return r.atomicALC(fn)
+		err = r.atomicALC(fn)
 	}
+	if err != nil {
+		r.observeFailed(err)
+	}
+	return err
 }
 
 // AtomicRO executes fn as a read-only transaction: abort-free, wait-free,
@@ -69,6 +75,12 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		holding  bool
 		wildcard bool
 		aborts   int
+		// remoteSheltered counts final-validation failures attributable to a
+		// REMOTE writer while the transaction held a covering lease that was
+		// already established before the attempt began — aborts §4's lease
+		// retention promises cannot happen. Reported to the observer; the
+		// history checker asserts it stays 0.
+		remoteSheltered int
 		// accum accumulates every data item accessed across re-executions:
 		// leases are taken over the union, so a transaction whose data-set
 		// drifts between attempts (§4.4) regains full shelter after one
@@ -93,6 +105,12 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		if r.cfg.MaxRetries > 0 && aborts > r.cfg.MaxRetries {
 			return ErrTooManyRetries
 		}
+
+		// Snapshot the lease state at the top of the attempt: a validation
+		// failure is only "sheltered" (and so checkable against the §4
+		// at-most-one-remote-abort promise) when the SAME lease covered the
+		// transaction for the whole attempt, including its execution.
+		heldAtBegin, heldIDAtBegin := holding, held
 
 		txn := r.store.Begin(false)
 		if err := fn(txn); err != nil {
@@ -185,7 +203,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			if id, ok := r.lm.TryReuse(items); ok {
 				held, holding = id, true
 			} else if r.cfg.PiggybackCert && !r.lm.HasCoverage(items) {
-				done, err := r.commitPiggybacked(txn, rs, ws, items, &held, &holding, &aborts, commitStart)
+				done, err := r.commitPiggybacked(txn, rs, ws, items, &held, &holding, &aborts, remoteSheltered, commitStart)
 				if done {
 					releaseHeld()
 					return err
@@ -215,11 +233,22 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			txn.Abort()
 			return ErrEjected
 		}
-		if !txn.Validate() {
+		// Conflicts is Validate plus attribution: non-empty means the
+		// read-set is stale (abort), and the conflicting head writers say
+		// whether a remote transaction snuck past a held lease.
+		if conflicts := r.store.Conflicts(txn.Snapshot(), rs); len(conflicts) > 0 {
 			r.inflight.release(wsCls)
 			txn.Abort()
 			r.nAborts.Inc()
 			DebugAbortCounters.Final.Add(1)
+			if heldAtBegin && holding && held == heldIDAtBegin {
+				for _, c := range conflicts {
+					if !c.Writer.IsZero() && c.Writer.Replica != r.id {
+						remoteSheltered++
+						break
+					}
+				}
+			}
 			aborts++
 			accum = accumulate(accum, items)
 			continue // re-execute holding the lease: no further remote aborts
@@ -247,6 +276,16 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		r.nCommits.Inc()
 		r.retries.Observe(aborts)
 		r.latency.Observe(time.Since(commitStart))
+		r.observeCommitted(TxnReport{
+			ID:                    tid,
+			Snapshot:              txn.Snapshot(),
+			RS:                    rs,
+			WS:                    ws,
+			Retries:               aborts,
+			RemoteShelteredAborts: remoteSheltered,
+			Protocol:              ProtocolALC,
+			Lease:                 held,
+		})
 		return nil
 	}
 }
@@ -263,6 +302,7 @@ func (r *Replica) commitPiggybacked(
 	held *lease.RequestID,
 	holding *bool,
 	aborts *int,
+	sheltered int,
 	commitStart time.Time,
 ) (bool, error) {
 	tid := r.nextTxnID()
@@ -283,8 +323,20 @@ func (r *Replica) commitPiggybacked(
 		r.nCommits.Inc()
 		r.retries.Observe(*aborts)
 		r.latency.Observe(time.Since(commitStart))
+		r.observeCommitted(TxnReport{
+			ID:                    tid,
+			Snapshot:              txn.Snapshot(),
+			RS:                    rs,
+			WS:                    ws,
+			Retries:               *aborts,
+			RemoteShelteredAborts: sheltered,
+			Protocol:              ProtocolALC,
+			Lease:                 id,
+		})
 		return true, nil
 	case errors.Is(err, errValidationFailed):
+		// The lease was acquired by this very request, so the abort is a
+		// pre-shelter one: not counted against the §4 invariant.
 		txn.Abort()
 		r.nAborts.Inc()
 		DebugAbortCounters.Payload.Add(1)

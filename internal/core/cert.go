@@ -74,6 +74,14 @@ func (r *Replica) atomicCert(fn func(*stm.Txn) error) error {
 			r.nCommits.Inc()
 			r.retries.Observe(aborts)
 			r.latency.Observe(time.Since(commitStart))
+			r.observeCommitted(TxnReport{
+				ID:       msg.TxnID,
+				Snapshot: txn.Snapshot(),
+				RS:       rs,
+				WS:       ws,
+				Retries:  aborts,
+				Protocol: ProtocolCert,
+			})
 			return nil
 		case errors.Is(err, errValidationFailed):
 			txn.Abort()

@@ -102,6 +102,10 @@ type Config struct {
 	// Batch tunes the group-commit coalescer and the parallel apply stage
 	// (ALC only; CERT applies in the total order, on the dispatcher).
 	Batch BatchConfig
+	// Observer, when non-nil, receives per-transaction lifecycle events
+	// (invoke/commit/terminal failure) for offline history checking. See
+	// Observer.
+	Observer Observer
 }
 
 func (c *Config) fillDefaults() {
@@ -219,6 +223,12 @@ func NewReplica(tr transport.Transport, cfg Config, gcsCfg gcs.Config) (*Replica
 		retries:    metrics.NewIntDist(),
 		batchSizes: metrics.NewIntDist(),
 	}
+	// Transaction IDs must be unique cluster-wide ACROSS replica
+	// incarnations: a crashed replica that restarts must not reuse the IDs
+	// of its previous life (version writer tags and the offline history
+	// checker both rely on ID uniqueness). Starting the sequence at the
+	// wall clock makes every incarnation's range disjoint.
+	r.txnSeq.Store(uint64(time.Now().UnixNano()))
 	r.coal = newCoalescer(r, cfg.Batch)
 	if !cfg.Batch.Disable {
 		r.sched = newApplyScheduler(cfg.Batch.ApplyWorkers)

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Observer receives per-transaction lifecycle events from a replica's commit
+// path. It exists for the offline history checker (internal/history): the
+// recorded reports, combined with the per-box version orders the stores
+// retain, are enough to certify one-copy serializability and the ALC
+// lease-shelter invariant after a simulation run.
+//
+// Implementations must be safe for concurrent use: every committing goroutine
+// calls the observer directly. Callbacks run on the commit path, so they
+// should be cheap (append to a locked log, not I/O).
+type Observer interface {
+	// TxnInvoked fires once per Atomic call (not per re-execution attempt),
+	// before the first attempt begins.
+	TxnInvoked(replica transport.ID)
+	// TxnCommitted fires after the transaction's write-set self-delivered
+	// (ALC) or certified in the total order (CERT) — i.e. after the commit is
+	// durable cluster-wide from this replica's point of view.
+	TxnCommitted(TxnReport)
+	// TxnFailed fires when an Atomic call returns a terminal error (ejection,
+	// shutdown, retry budget, or an application error from fn).
+	TxnFailed(replica transport.ID, err error)
+}
+
+// TxnReport is the checker-facing record of one committed transaction: the
+// identity its write-set versions carry cluster-wide, the snapshot and
+// read-set of the final (committed) execution, and the abort history of the
+// attempts before it.
+type TxnReport struct {
+	// ID is the cluster-unique transaction ID the write-set was installed
+	// under; it matches the writer IDs in Store.VersionWriters.
+	ID stm.TxnID
+	// Snapshot is the committing execution's snapshot timestamp (local to the
+	// executing replica's store).
+	Snapshot int64
+	// RS and WS are the committing execution's read- and write-set. The
+	// read-set carries the writer identity of every version observed —
+	// replica-independent, hence usable for cross-replica serialization-graph
+	// construction.
+	RS stm.ReadSet
+	WS stm.WriteSet
+	// Retries is how many aborted attempts preceded the commit.
+	Retries int
+	// RemoteShelteredAborts counts validation failures suffered while the
+	// transaction already held a covering lease that was established before
+	// the attempt began — aborts ALC's lease retention promises cannot
+	// happen (§4: once the lease is held, conflicting remote write-sets are
+	// causally ordered before it). The checker asserts this is always 0.
+	RemoteShelteredAborts int
+	// Protocol is the protocol that committed the transaction.
+	Protocol Protocol
+	// Lease is the lease request the transaction committed under (ALC only;
+	// zero for CERT). Diagnostics: correlates commits with lease transfers.
+	Lease lease.RequestID
+}
+
+// observer returns the configured observer or nil. Hooks guard on nil so the
+// common (unobserved) path costs one predictable branch.
+func (r *Replica) observer() Observer { return r.cfg.Observer }
+
+func (r *Replica) observeInvoked() {
+	if o := r.observer(); o != nil {
+		o.TxnInvoked(r.id)
+	}
+}
+
+func (r *Replica) observeCommitted(rep TxnReport) {
+	if o := r.observer(); o != nil {
+		o.TxnCommitted(rep)
+	}
+}
+
+func (r *Replica) observeFailed(err error) {
+	if o := r.observer(); o != nil {
+		o.TxnFailed(r.id, err)
+	}
+}

@@ -198,6 +198,13 @@ type Endpoint struct {
 	// suspicion state
 	lastHeard map[transport.ID]time.Time
 	joinReqs  map[transport.ID]bool
+	// staleSince records when a member was first seen heartbeating a view
+	// older than the current one (cleared by a current-view beacon). Only a
+	// member stale for longer than SuspectAfter is pulled back in as a joiner:
+	// right after an install every member's in-flight beacons are stale, and
+	// readmitting a healthy member on one of them wipes its live lease state
+	// cluster-wide while it still has transactions committing under it.
+	staleSince map[transport.ID]time.Time
 
 	// flush state (proposer side)
 	prop           *proposal
@@ -244,8 +251,9 @@ func NewEndpoint(tr transport.Transport, h Handler, cfg Config) (*Endpoint, erro
 		tr:        tr,
 		handler:   h,
 		self:      tr.Self(),
-		lastHeard: make(map[transport.ID]time.Time),
-		joinReqs:  make(map[transport.ID]bool),
+		lastHeard:  make(map[transport.ID]time.Time),
+		joinReqs:   make(map[transport.ID]bool),
+		staleSince: make(map[transport.ID]time.Time),
 		notify:    make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),

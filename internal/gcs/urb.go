@@ -325,20 +325,29 @@ func (e *Endpoint) gcAcksLocked(now time.Time) {
 	}
 }
 
-// retransmitLocked re-sends this process's own unstable messages to members
-// that have not acknowledged them. Only the original sender retransmits,
-// bounding duplicate traffic.
+// retransmitLocked re-sends unstable messages to members that have not
+// acknowledged them. The original sender retransmits after RetransmitAfter;
+// any OTHER process holding a message stuck in pending waits twice as long
+// and then re-broadcasts it too. The second rule is the recovery path for
+// lost acknowledgments: once the sender observes full stability it prunes
+// and stops retransmitting, so a receiver whose quorum of acks was dropped
+// in transit would otherwise wait forever — its re-broadcast provokes fresh
+// acks (every process re-acks duplicates) that unstick the delivery.
 func (e *Endpoint) retransmitLocked(now time.Time) {
 	vs := e.vs
 	resend := func(pm *pendingMsg, delivered bool) {
+		patience := e.cfg.RetransmitAfter
 		if pm.data.ID.Sender != e.self {
-			return
+			if delivered {
+				return // stability is the sender's business
+			}
+			patience *= 2
 		}
 		ref := pm.resentAt
 		if ref.IsZero() {
 			ref = pm.sentAt
 		}
-		if now.Sub(ref) < e.cfg.RetransmitAfter {
+		if now.Sub(ref) < patience {
 			return
 		}
 		pm.resentAt = now

@@ -52,14 +52,24 @@ func (e *Endpoint) handleNet(msg transport.Message) {
 		// older view tells the coordinator to pull it back in through a
 		// state transfer. Right after a view install every member's in-flight
 		// beacons still carry the old view, so a single stale beacon must not
-		// be trusted: a beacon at the current view proves the sender has the
-		// current state and cancels the pull — otherwise a healthy member
-		// would be re-admitted as a joiner and have its application state
-		// (including its live lease requests) spuriously wiped by the
-		// transfer.
+		// be trusted: the pull-in requires the member to STAY stale for the
+		// full suspicion interval, and a beacon at the current view cancels
+		// it. A healthy member's stale beacons drain within one heartbeat
+		// interval; a genuinely stuck process is stale forever. Acting on the
+		// first stale beacon readmits a healthy member as a joiner and wipes
+		// its application state (including its live lease requests)
+		// cluster-wide while it may still have transactions committing under
+		// them — a mutual-exclusion violation.
 		if m.View < e.view.ID && e.isCoordinatorLocked() && e.view.Contains(m.From) {
-			e.joinReqs[m.From] = true
+			since, ok := e.staleSince[m.From]
+			switch {
+			case !ok:
+				e.staleSince[m.From] = time.Now()
+			case time.Since(since) > e.cfg.SuspectAfter:
+				e.joinReqs[m.From] = true
+			}
 		} else if m.View == e.view.ID {
+			delete(e.staleSince, m.From)
 			delete(e.joinReqs, m.From)
 		}
 	case *joinReq:
@@ -580,13 +590,27 @@ func (e *Endpoint) handleInstall(in *vcInstall) {
 		e.ejectLocked()
 		return
 	}
+	if in.HasState && e.inPrimary && !e.joining {
+		// The group readmitted this process as a joiner while it considers
+		// itself a healthy member (it was stuck in an old view long enough to
+		// be pulled back in). Everything pre-install is void — the other
+		// members purged this process's lease requests when they installed
+		// the view, so releasing a broadcast queued during the flush into the
+		// new view would commit a write-set under a dead lease. Go through a
+		// full ejection first: the outbox is dropped and in-flight commits
+		// fail and retry against the transferred state.
+		e.ejectLocked()
+	}
+	pre := len(e.upcalls)
 	e.applyInstallLocked(in, in.HasState)
 	if in.HasState {
 		st := in.State
 		h := e.handler
-		// InstallState must precede the view-change upcall; prepend it.
-		calls := e.upcalls
-		e.upcalls = append([]func(){func() { h.InstallState(st) }}, calls...)
+		// InstallState must run after the ejection upcall (if any) and before
+		// the view-change upcall applyInstallLocked just enqueued.
+		calls := append([]func(){}, e.upcalls[:pre]...)
+		calls = append(calls, func() { h.InstallState(st) })
+		e.upcalls = append(calls, e.upcalls[pre:]...)
 	}
 }
 
@@ -608,6 +632,7 @@ func (e *Endpoint) applyInstallLocked(in *vcInstall, freshState bool) {
 	e.wantJoin = false
 	e.prop = nil
 	e.joinReqs = make(map[transport.ID]bool)
+	e.staleSince = make(map[transport.ID]time.Time)
 	now := time.Now()
 	for _, m := range in.View.Members {
 		e.lastHeard[m] = now

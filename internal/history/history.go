@@ -1,0 +1,104 @@
+// Package history records the transaction histories a replicated STM cluster
+// produces and checks them, offline, against the correctness claims of the
+// ALC paper:
+//
+//  1. one-copy serializability — the committed update transactions admit a
+//     serial order consistent with every replica's per-box version order
+//     (checked as acyclicity of the direct serialization graph built from
+//     write-write, reads-from and anti-dependency edges);
+//  2. no committed write is lost — every committed transaction's write-set
+//     appears exactly once in the cluster's version order for each box it
+//     wrote, across crashes, partitions and view changes;
+//  3. lease shelter (§4) — once a transaction holds its lease, a remote
+//     conflict can abort it at most... in fact never again: every
+//     final-validation failure under an unchanged held lease attributable to
+//     a remote writer is a protocol violation (TxnReport.
+//     RemoteShelteredAborts must be 0), which is how "at most one remote
+//     abort per transaction" is enforced mechanically.
+//
+// The package has two halves: Recorder, a core.Observer that captures
+// per-transaction reports while a cluster runs, and Check, the offline
+// verdict over those reports plus the per-box version orders retained by the
+// stores (stm.Store.VersionWriters).
+package history
+
+import (
+	"sync"
+
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Failure is one terminal transaction failure observed by the recorder.
+type Failure struct {
+	Replica transport.ID
+	Err     string
+}
+
+// Recorder is a thread-safe core.Observer that accumulates transaction
+// reports from any number of replicas. Install one shared Recorder as every
+// replica's Config.Observer; reports carry the executing replica in their
+// transaction ID.
+type Recorder struct {
+	mu       sync.Mutex
+	invoked  map[transport.ID]int64
+	commits  []core.TxnReport
+	failures []Failure
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{invoked: make(map[transport.ID]int64)}
+}
+
+// TxnInvoked implements core.Observer.
+func (r *Recorder) TxnInvoked(replica transport.ID) {
+	r.mu.Lock()
+	r.invoked[replica]++
+	r.mu.Unlock()
+}
+
+// TxnCommitted implements core.Observer.
+func (r *Recorder) TxnCommitted(rep core.TxnReport) {
+	r.mu.Lock()
+	r.commits = append(r.commits, rep)
+	r.mu.Unlock()
+}
+
+// TxnFailed implements core.Observer.
+func (r *Recorder) TxnFailed(replica transport.ID, err error) {
+	r.mu.Lock()
+	r.failures = append(r.failures, Failure{Replica: replica, Err: err.Error()})
+	r.mu.Unlock()
+}
+
+// Commits returns a copy of the commit reports recorded so far.
+func (r *Recorder) Commits() []core.TxnReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.TxnReport, len(r.commits))
+	copy(out, r.commits)
+	return out
+}
+
+// Failures returns a copy of the terminal failures recorded so far.
+func (r *Recorder) Failures() []Failure {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Failure, len(r.failures))
+	copy(out, r.failures)
+	return out
+}
+
+// Invoked returns the total number of Atomic invocations observed.
+func (r *Recorder) Invoked() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, c := range r.invoked {
+		n += c
+	}
+	return n
+}
+
+var _ core.Observer = (*Recorder)(nil)

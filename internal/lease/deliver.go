@@ -37,7 +37,9 @@ func (m *Manager) HandleRequestTO(req *Request) {
 		delete(m.earlyFreed, req.ID)
 		st.freed = true
 		st.enqueued = true
+		m.tracef("TO %v pos=%d earlyFreed", req.ID, st.pos)
 	} else {
+		m.tracef("TO %v pos=%d classes=%v wild=%t", req.ID, st.pos, req.Classes, req.Wildcard)
 		st.enqueued = true
 		for _, cc := range req.Classes {
 			q := m.queues[cc]
@@ -143,6 +145,7 @@ func (m *Manager) HandleViewChange(members []transport.ID, fresh []transport.ID)
 	}
 	for id, st := range m.reqs {
 		if !in[id.Proc] || (reborn[id.Proc] && id.Proc != m.self) {
+			m.tracef("view purge %v (members=%v fresh=%v)", id, members, fresh)
 			m.dequeueLocked(st)
 			st.freed = true
 			delete(m.reqs, id)
@@ -179,6 +182,9 @@ func (m *Manager) blockConflictingLocalLocked(classes []ConflictClass, except *r
 			continue
 		}
 		if st.local && !st.freed && (st.req.Wildcard || intersects(st.req.Classes, classes)) {
+			if !st.blocked {
+				m.tracef("block %v active=%d", st.req.ID, st.active)
+			}
 			st.blocked = true
 		}
 	}
@@ -189,6 +195,9 @@ func (m *Manager) blockConflictingLocalLocked(classes []ConflictClass, except *r
 func (m *Manager) blockAllLocalLocked(except *reqState) {
 	for _, st := range m.reqs {
 		if st != except && st.local && !st.freed {
+			if !st.blocked {
+				m.tracef("block %v active=%d (wild)", st.req.ID, st.active)
+			}
 			st.blocked = true
 		}
 	}
@@ -204,12 +213,14 @@ func (m *Manager) applyFreedLocked(id RequestID) {
 		return
 	}
 	if st == nil || !st.enqueued {
+		m.tracef("freed %v buffered early", id)
 		m.earlyFreed[id] = true
 		return
 	}
 	if st.freed {
 		return
 	}
+	m.tracef("freed %v applied", id)
 	st.freed = true
 	m.dequeueLocked(st)
 	if !st.local {
@@ -297,6 +308,7 @@ func (m *Manager) maybeFreeAllLocked() {
 		return
 	}
 	sort.Slice(batch, func(i, j int) bool { return batch[i].Seq < batch[j].Seq })
+	m.tracef("free %v", batch)
 	m.nFreed.Add(int64(len(batch)))
 	// The release is broadcast with the lock held to keep it ordered before
 	// any later release; the GCS broadcast call is non-blocking.

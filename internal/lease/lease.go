@@ -103,6 +103,10 @@ type Config struct {
 	// DeadlockDetection enables the conservative local wait-for-graph
 	// detector (§4.4). Victims release their own requests and retry.
 	DeadlockDetection bool
+	// Trace, when non-nil, receives a line per lease-table state transition
+	// (enqueue, block, free, purge, association changes). Diagnostics only:
+	// it runs under the manager's lock and must not call back in.
+	Trace func(format string, args ...any)
 }
 
 // Stats exposes lease-manager counters.
@@ -188,6 +192,14 @@ func NewManager(self transport.ID, bcast Broadcaster, cfg Config) *Manager {
 	return m
 }
 
+// tracef emits one diagnostic line when tracing is configured. Callers hold
+// the manager lock.
+func (m *Manager) tracef(format string, args ...any) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace("[lm %d] "+format, append([]any{m.self}, args...)...)
+	}
+}
+
 // SetPayloadHandler installs the enabled-request payload callback.
 func (m *Manager) SetPayloadHandler(h PayloadHandler) {
 	m.mu.Lock()
@@ -264,8 +276,10 @@ func (m *Manager) getLease(dataSet []string, freeFirst []RequestID, old RequestI
 				st.active++
 				m.nReused.Inc()
 				id := st.req.ID
+				m.tracef("join %v active=%d", id, st.active)
 				err := m.waitEnabledLocked(st)
 				if err != nil {
+					m.tracef("join %v failed: %v", id, err)
 					m.releaseWaiterLocked(st)
 				}
 				m.mu.Unlock()
@@ -283,6 +297,7 @@ func (m *Manager) getLease(dataSet []string, freeFirst []RequestID, old RequestI
 	st := &reqState{req: req, local: true, active: 1}
 	m.reqs[req.ID] = st
 	m.nRequested.Inc()
+	m.tracef("request %v freeFirst=%v", req.ID, freeFirst)
 	m.mu.Unlock()
 
 	if err := m.bcast.OABroadcast(req); err != nil {
@@ -303,9 +318,11 @@ func (m *Manager) getLease(dataSet []string, freeFirst []RequestID, old RequestI
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.waitEnabledLocked(st); err != nil {
+		m.tracef("request %v failed: %v", req.ID, err)
 		m.releaseWaiterLocked(st)
 		return RequestID{}, err
 	}
+	m.tracef("request %v enabled", req.ID)
 	return req.ID, nil
 }
 
@@ -385,6 +402,7 @@ func (m *Manager) TryReuse(dataSet []string) (RequestID, bool) {
 			(st.req.Wildcard || subset(classes, st.req.Classes)) && m.enabledLocked(st) {
 			st.active++
 			m.nReused.Inc()
+			m.tracef("tryreuse %v active=%d", st.req.ID, st.active)
 			return st.req.ID, true
 		}
 	}
@@ -448,6 +466,7 @@ func (m *Manager) Finished(id RequestID) {
 	if st.active > 0 {
 		st.active--
 	}
+	m.tracef("finished %v active=%d blocked=%t", id, st.active, st.blocked)
 	m.maybeFreeAllLocked()
 	m.gcLocked(st)
 }

@@ -9,7 +9,10 @@
 // while absolute throughput numbers are simulator-relative.
 //
 // memnet also provides the failure-injection surface used by the
-// dependability tests: process crashes and network partitions.
+// dependability tests and the simulation harness (internal/sim): process
+// crashes, network partitions, and seeded per-link fault injection (message
+// drop, duplication and delay spikes — see Faults), all reproducible from a
+// single schedule seed.
 package memnet
 
 import (
@@ -35,9 +38,16 @@ type Config struct {
 	// example an atomic-broadcast sequencer) develops queueing delay — the
 	// load effect behind the paper's Figure 3. Zero disables the model.
 	PerMessageCost time.Duration
-	// Seed seeds the jitter generator; 0 selects a fixed default so that
-	// tests are reproducible.
+	// Seed seeds the jitter generator. Zero is NOT a random seed: it
+	// explicitly selects a fixed deterministic default (equivalent to
+	// Seed: 1), so that tests reproduce run-to-run by default. Callers that
+	// want a fresh schedule every run must pass RandomSeed() explicitly and
+	// log the value for reproduction.
 	Seed int64
+	// Faults configures seeded fault injection (drop/duplicate/delay-spike
+	// per link); see Faults. The zero value disables injection. Faults can
+	// also be installed or cleared at runtime with Network.SetFaults.
+	Faults Faults
 	// QueueSize bounds each link's in-flight queue and each endpoint inbox.
 	// Zero selects a generous default.
 	QueueSize int
@@ -47,13 +57,16 @@ const _defaultQueueSize = 16384
 
 // Network is a simulated asynchronous network connecting a set of endpoints.
 type Network struct {
-	mu        sync.Mutex
-	cfg       Config
-	rng       *rand.Rand
-	endpoints map[transport.ID]*Endpoint
-	links     map[linkKey]*link
-	blocked   map[linkKey]bool // severed pairs (partition)
-	closed    bool
+	mu         sync.Mutex
+	cfg        Config
+	rng        *rand.Rand
+	endpoints  map[transport.ID]*Endpoint
+	links      map[linkKey]*link
+	blocked    map[linkKey]bool // severed pairs (partition)
+	faults     Faults
+	faultEpoch uint64
+	faultRNG   map[linkKey]*rand.Rand
+	closed     bool
 }
 
 type linkKey struct {
@@ -75,6 +88,8 @@ func New(cfg Config) *Network {
 		endpoints: make(map[transport.ID]*Endpoint),
 		links:     make(map[linkKey]*link),
 		blocked:   make(map[linkKey]bool),
+		faults:    cfg.Faults,
+		faultRNG:  make(map[linkKey]*rand.Rand),
 	}
 }
 
@@ -352,16 +367,27 @@ func (l *link) send(msg transport.Message, delay time.Duration) {
 	if l.net.linkBlocked(l.key) {
 		return
 	}
-	arrival := time.Now().Add(delay)
+	drop, dup, extra := l.net.faultDecision(l.key)
+	if drop {
+		return
+	}
+	arrival := time.Now().Add(delay + extra)
 	if cost := l.net.cfg.PerMessageCost; cost > 0 {
 		if dst := l.dst(); dst != nil {
 			arrival = arrival.Add(dst.admissionDelay(arrival, cost))
 		}
 	}
+	copies := 1
+	if dup {
+		copies = 2
+	}
 	tm := timedMessage{deliverAt: arrival, msg: msg}
-	select {
-	case l.ch <- tm:
-	case <-l.done:
+	for i := 0; i < copies; i++ {
+		select {
+		case l.ch <- tm:
+		case <-l.done:
+			return
+		}
 	}
 }
 

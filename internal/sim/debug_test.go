@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDebugSeed replays one seed (env ALC_DEBUG_SEED) until the checker
+// fails, then dumps the full recorded history plus the lease-manager trace.
+// Skipped unless the env var is set: it is a manual debugging aid, not part
+// of the suite.
+func TestDebugSeed(t *testing.T) {
+	seedStr := os.Getenv("ALC_DEBUG_SEED")
+	if seedStr == "" {
+		t.Skip("set ALC_DEBUG_SEED to use")
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 20; attempt++ {
+		var (
+			mu    sync.Mutex
+			trace []string
+			start = time.Now()
+		)
+		res := Run(Config{Seed: seed, LeaseTrace: func(format string, args ...any) {
+			line := fmt.Sprintf("%9.3fms %s",
+				float64(time.Since(start).Microseconds())/1000, fmt.Sprintf(format, args...))
+			mu.Lock()
+			trace = append(trace, line)
+			if len(trace) > 8000 {
+				trace = trace[len(trace)-8000:]
+			}
+			mu.Unlock()
+		}})
+		if res.OK() {
+			continue
+		}
+		t.Logf("attempt %d: %s", attempt, res.Summary())
+		in := res.checkerInput
+		for _, c := range in.Commits {
+			t.Logf("commit %v snap=%d retries=%d sheltered=%d lease=%v RS=%v WS=%v",
+				c.ID, c.Snapshot, c.Retries, c.RemoteShelteredAborts, c.Lease, c.RS, wsBoxes(c.WS))
+		}
+		for _, id := range in.FullHistory {
+			for box, order := range in.Orders[id] {
+				t.Logf("witness %d box %q order %v", id, box, order)
+			}
+			break
+		}
+		mu.Lock()
+		for _, line := range trace {
+			t.Log(line)
+		}
+		mu.Unlock()
+		t.FailNow()
+	}
+	t.Log("no failure in 20 attempts")
+}
+
+func wsBoxes(ws interface{ BoxIDs() []string }) string {
+	return strings.Join(ws.BoxIDs(), ",")
+}

@@ -1,0 +1,200 @@
+// Package sim is the deterministic simulation harness: it turns a single
+// int64 seed into a complete fault schedule (workload choice, message-fault
+// probabilities, a timeline of crashes, restarts, partitions and heals),
+// drives a cluster through it under load, and hands the recorded history to
+// the offline checker (internal/history). Any failure reproduces from its
+// seed: `go run ./cmd/alc-sim -seed=<s>` replays the identical schedule and
+// verdict.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/alcstm/alc/internal/memnet"
+)
+
+// Workload enumerates the application workloads a schedule can drive.
+type Workload int
+
+const (
+	// WorkloadBank is the §5 Bank micro-benchmark (unit transfers; total
+	// balance conserved).
+	WorkloadBank Workload = iota + 1
+	// WorkloadSortedSet is the treap-based intset (structural updates over
+	// many boxes per transaction).
+	WorkloadSortedSet
+	// WorkloadVacation is the STAMP-style reservation mix.
+	WorkloadVacation
+)
+
+func (w Workload) String() string {
+	switch w {
+	case WorkloadBank:
+		return "bank"
+	case WorkloadSortedSet:
+		return "sortedset"
+	case WorkloadVacation:
+		return "vacation"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// EventKind enumerates scheduled cluster-level failure events.
+type EventKind int
+
+const (
+	// EventCrash fail-stops a replica.
+	EventCrash EventKind = iota + 1
+	// EventRestart restarts a crashed replica (state transfer on rejoin).
+	EventRestart
+	// EventPartition isolates one replica from the rest.
+	EventPartition
+	// EventHeal removes the partition.
+	EventHeal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventRestart:
+		return "restart"
+	case EventPartition:
+		return "partition"
+	case EventHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled failure: Kind applied to Victim at offset At from
+// the start of the load phase. Victim is meaningful for crash, restart and
+// partition (the isolated replica); it is ignored for heal.
+type Event struct {
+	At     time.Duration
+	Kind   EventKind
+	Victim int
+}
+
+// Schedule is the fully expanded, deterministic plan for one simulation run.
+// Two Generate calls with equal arguments produce equal schedules.
+type Schedule struct {
+	Seed     int64
+	Replicas int
+	Workload Workload
+	// HighContention selects the conflict-heavy variant of the workload
+	// (shared accounts / narrow key range), exercising lease rotation.
+	HighContention bool
+	// Faults is the message-level fault injection active during the load
+	// phase (cleared before the convergence check).
+	Faults memnet.Faults
+	// Events is the failure timeline, sorted by At. The harness guarantees a
+	// witness replica (index Replicas-1) that is never crashed and never on
+	// the minority side of a partition, so at least one full-history store
+	// survives for the checker.
+	Events []Event
+}
+
+// Witness returns the index of the replica the schedule never harms.
+func (s *Schedule) Witness() int { return s.Replicas - 1 }
+
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d workload=%v", s.Seed, s.Workload)
+	if s.HighContention {
+		b.WriteString(" high-contention")
+	}
+	if s.Faults.Active() {
+		fmt.Fprintf(&b, " faults{drop=%.3f dup=%.3f delay=%.2f/%v}",
+			s.Faults.Drop, s.Faults.Duplicate, s.Faults.Delay, s.Faults.DelaySpike)
+	}
+	for _, e := range s.Events {
+		fmt.Fprintf(&b, " %v@%v", e.Kind, e.At.Round(time.Millisecond))
+		if e.Kind != EventHeal {
+			fmt.Fprintf(&b, "(%d)", e.Victim)
+		}
+	}
+	return b.String()
+}
+
+// Generate expands a seed into the schedule for a cluster of the given size
+// running its load phase for the given duration. The generator maintains the
+// cluster state it implies, so every schedule is feasible: at most one
+// replica down at a time (a majority always remains), no crash while
+// partitioned, restarts only of crashed replicas, and the witness replica
+// untouched.
+func Generate(seed int64, replicas int, load time.Duration) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed, Replicas: replicas}
+
+	s.Workload = []Workload{WorkloadBank, WorkloadSortedSet, WorkloadVacation}[rng.Intn(3)]
+	s.HighContention = rng.Float64() < 0.4
+
+	// Message faults in ~2/3 of schedules; kept modest so the GCS
+	// retransmission machinery recovers within the run.
+	if rng.Float64() < 0.65 {
+		s.Faults = memnet.Faults{
+			Seed:      seed,
+			Drop:      0.03 * rng.Float64(),
+			Duplicate: 0.05 * rng.Float64(),
+		}
+		if rng.Float64() < 0.5 {
+			s.Faults.Delay = 0.1 * rng.Float64()
+			s.Faults.DelaySpike = time.Duration(1+rng.Intn(4)) * time.Millisecond
+		}
+	}
+
+	// Failure timeline: random event times in the middle of the load phase,
+	// walked with a state machine so only feasible actions fire.
+	nEvents := rng.Intn(4)
+	times := make([]time.Duration, nEvents)
+	for i := range times {
+		frac := 0.1 + 0.6*rng.Float64()
+		times[i] = time.Duration(frac * float64(load))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	type action int
+	const (
+		crash action = iota
+		restart
+		partition
+		heal
+	)
+	crashed, partitioned := -1, false
+	for _, at := range times {
+		var feasible []action
+		if crashed < 0 && !partitioned {
+			feasible = append(feasible, crash, partition)
+		}
+		if crashed >= 0 {
+			feasible = append(feasible, restart)
+		}
+		if partitioned {
+			feasible = append(feasible, heal)
+		}
+		switch feasible[rng.Intn(len(feasible))] {
+		case crash:
+			v := rng.Intn(replicas - 1) // never the witness
+			s.Events = append(s.Events, Event{At: at, Kind: EventCrash, Victim: v})
+			crashed = v
+		case restart:
+			s.Events = append(s.Events, Event{At: at, Kind: EventRestart, Victim: crashed})
+			crashed = -1
+		case partition:
+			v := rng.Intn(replicas - 1) // minority side never holds the witness
+			s.Events = append(s.Events, Event{At: at, Kind: EventPartition, Victim: v})
+			partitioned = true
+		case heal:
+			s.Events = append(s.Events, Event{At: at, Kind: EventHeal})
+			partitioned = false
+		}
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/alcstm/alc/internal/bank"
+	"github.com/alcstm/alc/internal/sortedset"
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/vacation"
+)
+
+// workload adapts one application benchmark to the harness: seeding, a
+// deterministic stream of transaction bodies per (replica, thread), and a
+// quiescent-state invariant. Bodies must be pure functions of the
+// transaction (the protocols re-execute them on aborts).
+type workload interface {
+	seed() map[string]stm.Value
+	// op returns the round-th transaction body for (replica, thread). rng is
+	// the thread's private generator; op must draw a deterministic number of
+	// values from it per call.
+	op(rng *rand.Rand, replica, thread, round int) func(*stm.Txn) error
+	// check validates the workload invariant in one read-only transaction.
+	check(tx *stm.Txn) error
+}
+
+func newWorkload(s *Schedule, threads int) workload {
+	switch s.Workload {
+	case WorkloadSortedSet:
+		return &setWorkload{set: sortedset.New("sim"), keys: keyRange(s.HighContention)}
+	case WorkloadVacation:
+		return &vacWorkload{db: vacation.New(vacation.Config{
+			Resources: resourceRows(s.HighContention),
+			Customers: 32,
+			Seed:      s.Seed,
+		})}
+	default:
+		mode := bank.NoConflict
+		if s.HighContention {
+			mode = bank.HighConflict
+		}
+		if mode == bank.NoConflict {
+			return &bankWorkload{w: bank.NewSharded(s.Replicas, threads)}
+		}
+		return &bankWorkload{w: bank.New(s.Replicas, mode)}
+	}
+}
+
+func keyRange(high bool) int {
+	if high {
+		return 16 // narrow range: access paths overlap constantly
+	}
+	return 96
+}
+
+func resourceRows(high bool) int {
+	if high {
+		return 8
+	}
+	return 32
+}
+
+type bankWorkload struct {
+	w *bank.Workload
+}
+
+func (b *bankWorkload) seed() map[string]stm.Value { return b.w.Seed() }
+
+func (b *bankWorkload) op(_ *rand.Rand, replica, thread, round int) func(*stm.Txn) error {
+	return b.w.TransferAt(replica, thread, round)
+}
+
+func (b *bankWorkload) check(tx *stm.Txn) error { return b.w.CheckInvariant(tx) }
+
+type setWorkload struct {
+	set  *sortedset.Set
+	keys int
+}
+
+func (s *setWorkload) seed() map[string]stm.Value { return s.set.Seed() }
+
+func (s *setWorkload) op(rng *rand.Rand, _, _, _ int) func(*stm.Txn) error {
+	key := rng.Intn(s.keys)
+	switch rng.Intn(3) {
+	case 0:
+		return func(tx *stm.Txn) error {
+			_, err := s.set.Delete(tx, key)
+			return err
+		}
+	case 1:
+		return func(tx *stm.Txn) error {
+			ok, err := s.set.Contains(tx, key)
+			if err != nil || !ok {
+				return err
+			}
+			_, err = s.set.Delete(tx, key)
+			return err
+		}
+	default:
+		return func(tx *stm.Txn) error {
+			_, err := s.set.Insert(tx, key)
+			return err
+		}
+	}
+}
+
+func (s *setWorkload) check(tx *stm.Txn) error { return s.set.CheckInvariants(tx) }
+
+type vacWorkload struct {
+	db *vacation.DB
+}
+
+func (v *vacWorkload) seed() map[string]stm.Value { return v.db.Seed() }
+
+func (v *vacWorkload) op(rng *rand.Rand, _, _, _ int) func(*stm.Txn) error {
+	cust := rng.Intn(v.db.Customers())
+	switch rng.Intn(10) {
+	case 0:
+		// Rare table maintenance: reprice a band of rows.
+		return adapt(v.db.UpdatePrices(rng.Int63(), 4))
+	case 1, 2:
+		return adapt(v.db.ReleaseAll(cust))
+	default:
+		kind := []vacation.ResourceKind{vacation.Car, vacation.Flight, vacation.Room}[rng.Intn(3)]
+		candidates := make([]int, 3)
+		for i := range candidates {
+			candidates[i] = rng.Intn(v.db.Resources())
+		}
+		var booked bool
+		return adapt(v.db.MakeReservation(cust, kind, candidates, &booked))
+	}
+}
+
+func (v *vacWorkload) check(tx *stm.Txn) error { return v.db.CheckInvariant(tx) }
+
+// adapt narrows a vacation.Txn body to the *stm.Txn the harness drives.
+func adapt(fn func(vacation.Txn) error) func(*stm.Txn) error {
+	return func(tx *stm.Txn) error { return fn(tx) }
+}

@@ -317,6 +317,99 @@ func (s *Set) merge(tx Txn, a, b string) (string, error) {
 	return b, s.writeNode(tx, b, nb)
 }
 
+// DeleteRange removes every key in the closed interval [lo, hi] and returns
+// how many keys were removed. It is the treap split/excise/merge: two splits
+// carve out the [lo, hi] subtree, which is counted and unlinked whole, so the
+// transaction's write-set covers only the two split paths — O(log n) boxes
+// regardless of how many keys the range holds (their node boxes are simply
+// unreferenced, exactly like single-key Delete).
+func (s *Set) DeleteRange(tx Txn, lo, hi int) (int, error) {
+	if lo > hi {
+		return 0, nil
+	}
+	root, err := s.readRoot(tx)
+	if err != nil {
+		return 0, err
+	}
+	left, rest, err := s.split(tx, root, lo) // left: keys < lo
+	if err != nil {
+		return 0, err
+	}
+	var mid, right string
+	if hi == int(^uint(0)>>1) {
+		// hi+1 would overflow; everything >= lo is in range.
+		mid, right = rest, ""
+	} else {
+		mid, right, err = s.split(tx, rest, hi+1) // mid: keys in [lo, hi]
+		if err != nil {
+			return 0, err
+		}
+	}
+	removed, err := s.countSubtree(tx, mid)
+	if err != nil {
+		return 0, err
+	}
+	merged, err := s.merge(tx, left, right)
+	if err != nil {
+		return 0, err
+	}
+	if merged != root {
+		if err := tx.Write(s.rootBox(), merged); err != nil {
+			return 0, err
+		}
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	return removed, s.adjustSize(tx, -removed)
+}
+
+// split partitions the subtree at id into (keys < key, keys >= key),
+// preserving the heap order in both halves.
+func (s *Set) split(tx Txn, id string, key int) (string, string, error) {
+	if id == "" {
+		return "", "", nil
+	}
+	n, err := s.readNode(tx, id)
+	if err != nil {
+		return "", "", err
+	}
+	if n.Key < key {
+		l, r, err := s.split(tx, n.Right, key)
+		if err != nil {
+			return "", "", err
+		}
+		n.Right = l
+		return id, r, s.writeNode(tx, id, n)
+	}
+	l, r, err := s.split(tx, n.Left, key)
+	if err != nil {
+		return "", "", err
+	}
+	n.Left = r
+	return l, id, s.writeNode(tx, id, n)
+}
+
+// countSubtree returns the number of nodes under id.
+func (s *Set) countSubtree(tx Txn, id string) (int, error) {
+	if id == "" {
+		return 0, nil
+	}
+	n, err := s.readNode(tx, id)
+	if err != nil {
+		return 0, err
+	}
+	l, err := s.countSubtree(tx, n.Left)
+	if err != nil {
+		return 0, err
+	}
+	r, err := s.countSubtree(tx, n.Right)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + l + r, nil
+}
+
 func (s *Set) adjustSize(tx Txn, delta int) error {
 	v, err := tx.Read(s.sizeBox())
 	if err != nil {

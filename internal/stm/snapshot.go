@@ -41,7 +41,13 @@ func (s *Store) Snapshot() StoreSnapshot {
 // Restore replaces the store's content with the snapshot. It must only be
 // called while the replica is not processing transactions (during state
 // transfer, before the new view is installed).
+//
+// Restore truncates version histories: the snapshot carries only the head
+// version of each box, so the restored store has no per-box history prefix.
+// Restores() lets observers (the history checker) know a store's histories
+// are no longer complete.
 func (s *Store) Restore(snap StoreSnapshot) {
+	s.restores.Add(1)
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 

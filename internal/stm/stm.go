@@ -123,8 +123,18 @@ type Store struct {
 	commitMu sync.Mutex
 	clock    atomic.Int64
 
+	// restores counts Restore calls (state transfers). A restored store's
+	// version histories are truncated to the snapshot heads, which
+	// disqualifies it as a full-history witness for the offline checker.
+	restores atomic.Int64
+
 	snapshots *snapshotTracker
 }
+
+// Restores returns how many times the store's content was replaced by a
+// state-transfer snapshot (Restore). Zero means every retained version
+// history is complete back to the initial state (modulo GC).
+func (s *Store) Restores() int64 { return s.restores.Load() }
 
 // NewStore creates an empty store with commitTimestamp 0.
 func NewStore() *Store {
@@ -267,6 +277,36 @@ func (s *Store) Validate(snapshot int64, rs ReadSet) bool {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	return s.validateLocked(snapshot, rs)
+}
+
+// ReadConflict describes one invalidated read-set entry: the box whose
+// version history advanced past the reader's snapshot, and the writer of its
+// current head version. The writer identity lets the replication layer
+// attribute a validation failure to a local or a remote transaction (the
+// history checker's ≤1-remote-abort invariant).
+type ReadConflict struct {
+	Box    string
+	Writer TxnID
+}
+
+// Conflicts returns, for every read-set entry invalidated by a commit after
+// the snapshot, the box and the writer of the box's current head version. It
+// is a diagnostic companion to Validate: Validate answers "would this
+// transaction commit", Conflicts answers "who aborted it".
+func (s *Store) Conflicts(snapshot int64, rs ReadSet) []ReadConflict {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	var out []ReadConflict
+	for _, r := range rs {
+		b, ok := s.Box(r.Box)
+		if !ok {
+			continue
+		}
+		if b.newerThan(snapshot) {
+			out = append(out, ReadConflict{Box: r.Box, Writer: b.head.Load().writer})
+		}
+	}
+	return out
 }
 
 func (s *Store) validateLocked(snapshot int64, rs ReadSet) bool {
