@@ -28,6 +28,7 @@ import (
 	"github.com/alcstm/alc/internal/bank"
 	"github.com/alcstm/alc/internal/bench"
 	"github.com/alcstm/alc/internal/lee"
+	"github.com/alcstm/alc/internal/obs"
 )
 
 func main() {
@@ -49,12 +50,24 @@ func run() error {
 		abCeiling    = flag.Duration("ab-ceiling", 0, "sequencer pacing per ordered message (0 = calibrated default, negative = native uncapped AB)")
 		csvPath      = flag.String("csv", "", "append results in long-format CSV to this file")
 		batchThreads = flag.Int("batch-threads", 32, "committer threads per replica for ablation-batch")
+		httpAddr     = flag.String("http", "", "serve /metrics, /debug/alc and /debug/pprof on this address while the benchmarks run")
 	)
 	flag.Parse()
 
 	replicas, err := parseInts(*replicaArg)
 	if err != nil {
 		return err
+	}
+	if *httpAddr != "" {
+		// Benchmark clusters auto-register with obs.Default as c<n>-r<i>, so
+		// one server exposes whichever cluster is currently running — handy
+		// for watching per-stage latency histograms live during a sweep.
+		srv, err := obs.Serve(*httpAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/{metrics,debug/alc,debug/pprof}\n", srv.Addr())
 	}
 	var csvw *bench.CSVWriter
 	if *csvPath != "" {

@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"github.com/alcstm/alc/internal/core"
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/obs"
 	"github.com/alcstm/alc/internal/stm"
 	"github.com/alcstm/alc/internal/tcpnet"
 	"github.com/alcstm/alc/internal/transport"
@@ -48,6 +50,7 @@ func run() error {
 		peers    = flag.String("peers", "", "comma-separated id=host:port list for every replica")
 		protocol = flag.String("protocol", "alc", "alc or cert")
 		join     = flag.Bool("join", false, "rejoin a running group via state transfer")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/alc and /debug/pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
 	if *id < 0 || *peers == "" {
@@ -86,6 +89,17 @@ func run() error {
 		return err
 	}
 	defer replica.Close()
+
+	if *httpAddr != "" {
+		obs.Default.Register(fmt.Sprintf("node-%d", *id),
+			func() *core.Replica { return replica })
+		srv, err := obs.Serve(*httpAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability on http://%s/{metrics,debug/alc,debug/pprof}\n", srv.Addr())
+	}
 
 	fmt.Printf("replica %d up (%v, %d peers); waiting for the group...\n", *id, proto, len(members)-1)
 	if err := replica.WaitForView(len(members)/2+1, 30*time.Second); err != nil {
@@ -157,20 +171,43 @@ func run() error {
 				}
 			}
 			err = replica.Atomic(func(tx *stm.Txn) error {
-				v, err := tx.Read(fields[1])
-				cur := 0
-				if err == nil {
-					if n, ok := v.(int); ok {
-						cur = n
-					}
-				}
-				return tx.Write(fields[1], cur+delta)
+				return applyInc(tx, fields[1], delta)
 			})
 			report(err)
 		default:
 			fmt.Println("commands: set get inc stats dump quit")
 		}
 	}
+}
+
+// txRW is the slice of *stm.Txn that applyInc needs (seam for testing the
+// error-handling contract without driving a live store into each case).
+type txRW interface {
+	Read(box string) (stm.Value, error)
+	Write(box string, v stm.Value) error
+}
+
+// applyInc is the read-modify-write body of the inc command. Only a missing
+// box means "start from zero": any other read error (snapshot conflict,
+// finished transaction) must propagate so the STM aborts and transparently
+// re-executes — swallowing it would commit 0+delta over a value the
+// transaction was not entitled to ignore.
+func applyInc(tx txRW, key string, delta int) error {
+	cur := 0
+	v, err := tx.Read(key)
+	switch {
+	case errors.Is(err, stm.ErrNoSuchBox):
+		// box absent: create it at delta
+	case err != nil:
+		return err
+	default:
+		n, ok := v.(int)
+		if !ok {
+			return fmt.Errorf("inc %s: box holds %T, not int", key, v)
+		}
+		cur = n
+	}
+	return tx.Write(key, cur+delta)
 }
 
 func report(err error) {

@@ -8,7 +8,11 @@
 //
 //	alc-sim -seed=123456789           # replay one seed, verbose
 //	alc-sim -seed=123456789 -n=20     # replay it 20 times (flaky hunts)
-//	alc-sim -seed=123456789 -trace    # also dump lease-manager transitions
+//	alc-sim -seed=123456789 -trace    # also dump the protocol event trace
+//
+// With -trace, failing runs print the tail of the unified internal/trace
+// ring buffer: lease-manager transitions and transaction lifecycle events
+// from every replica, interleaved in emission order.
 //
 // Exit status is 1 if any run fails, 0 otherwise.
 package main
@@ -17,10 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sync"
-	"time"
 
 	"github.com/alcstm/alc/internal/sim"
+	"github.com/alcstm/alc/internal/trace"
 )
 
 func main() {
@@ -36,8 +39,8 @@ func run() error {
 		n       = flag.Int("n", 1, "number of replays (a failure anywhere fails the command)")
 		threads = flag.Int("threads", 0, "load threads per replica (0 = harness default)")
 		load    = flag.Duration("load", 0, "load-phase duration (0 = harness default)")
-		quiet   = flag.Bool("q", false, "suppress event tracing, print only summaries")
-		trace   = flag.Bool("trace", false, "dump lease-manager state transitions for failing runs")
+		quiet    = flag.Bool("q", false, "suppress event tracing, print only summaries")
+		traceOn  = flag.Bool("trace", false, "dump the protocol event trace for failing runs")
 	)
 	flag.Parse()
 	if *seed == 0 && flag.Lookup("seed").Value.String() == "0" {
@@ -57,33 +60,19 @@ func run() error {
 				fmt.Printf("  "+format+"\n", args...)
 			}
 		}
-		var (
-			mu    sync.Mutex
-			lines []string
-			start = time.Now()
-		)
-		if *trace {
-			cfg.LeaseTrace = func(format string, args ...any) {
-				line := fmt.Sprintf("  %9.3fms %s",
-					float64(time.Since(start).Microseconds())/1000, fmt.Sprintf(format, args...))
-				mu.Lock()
-				lines = append(lines, line)
-				if len(lines) > 8000 {
-					lines = lines[len(lines)-8000:]
-				}
-				mu.Unlock()
-			}
+		var tracer *trace.Tracer
+		if *traceOn {
+			tracer = trace.New(1 << 14)
+			cfg.Tracer = tracer
 		}
 		res := sim.Run(cfg)
 		fmt.Printf("run %d/%d: %s\n", i+1, *n, res.Summary())
 		if !res.OK() {
 			failures++
-			if *trace {
-				mu.Lock()
-				for _, l := range lines {
-					fmt.Println(l)
+			if tracer != nil {
+				for _, e := range tracer.Events() {
+					fmt.Println("  " + e.Format(tracer.Start()))
 				}
-				mu.Unlock()
 			}
 		}
 	}

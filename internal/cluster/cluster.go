@@ -9,14 +9,20 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/alcstm/alc/internal/core"
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/memnet"
+	"github.com/alcstm/alc/internal/obs"
 	"github.com/alcstm/alc/internal/stm"
 	"github.com/alcstm/alc/internal/transport"
 )
+
+// clusterSeq numbers clusters within the process so that concurrently
+// running clusters (tests, benchmarks) get distinct obs registry names.
+var clusterSeq atomic.Int64
 
 // Config parametrizes a cluster.
 type Config struct {
@@ -44,6 +50,8 @@ type Cluster struct {
 
 	mu       sync.RWMutex
 	replicas []*core.Replica
+
+	obsCancels []func()
 }
 
 // New builds and starts a cluster, blocking until every replica has
@@ -62,6 +70,18 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.N; i++ {
 		c.ids = append(c.ids, transport.ID(i))
+	}
+
+	// Register every replica slot with the process-wide obs registry so an
+	// obs server started with -http sees each cluster member as c<n>-r<i>.
+	// Getters resolve lazily through Replica(i): crash/restart cycles swap
+	// the underlying replica without re-registering.
+	cn := clusterSeq.Add(1)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		c.obsCancels = append(c.obsCancels,
+			obs.Default.Register(fmt.Sprintf("c%d-r%d", cn, i),
+				func() *core.Replica { return c.Replica(i) }))
 	}
 
 	for i := 0; i < cfg.N; i++ {
@@ -210,6 +230,10 @@ func (c *Cluster) FullHistoryReplicas() []transport.ID {
 // Close shuts everything down.
 func (c *Cluster) Close() {
 	c.mu.Lock()
+	for _, cancel := range c.obsCancels {
+		cancel()
+	}
+	c.obsCancels = nil
 	reps := make([]*core.Replica, len(c.replicas))
 	copy(reps, c.replicas)
 	for i := range c.replicas {

@@ -95,6 +95,10 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 	}
 	defer releaseHeld()
 
+	// End-to-end latency is timed from the first attempt: restarting the
+	// clock on re-execution would report only the final attempt's cost for
+	// exactly the transactions contention delays most.
+	txnStart := time.Now()
 	for {
 		if r.stopped.Load() {
 			return ErrStopped
@@ -112,18 +116,19 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		// transaction for the whole attempt, including its execution.
 		heldAtBegin, heldIDAtBegin := holding, held
 
+		execStart := time.Now()
 		txn := r.store.Begin(false)
 		if err := fn(txn); err != nil {
 			txn.Abort()
 			return err
 		}
+		r.stageExec.Observe(time.Since(execStart))
 		if !txn.IsUpdate() {
 			txn.Abort()
 			r.nReadOnly.Inc()
 			return nil
 		}
 
-		commitStart := time.Now()
 		rs, ws := txn.ReadSet(), txn.WriteSet()
 		items := dataSet(rs, ws)
 		if accum != nil {
@@ -154,6 +159,11 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			accum = accumulate(accum, items)
 			continue
 		}
+
+		// Lease establishment (escalation, replacement, reuse, acquisition,
+		// or the §4.5(c) piggyback) — everything from here until the final
+		// validation is the lease-wait stage.
+		leaseStart := time.Now()
 
 		// §4.4 escalation: repeated re-executions with unstable data-sets
 		// fall back to a lease on everything.
@@ -203,7 +213,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			if id, ok := r.lm.TryReuse(items); ok {
 				held, holding = id, true
 			} else if r.cfg.PiggybackCert && !r.lm.HasCoverage(items) {
-				done, err := r.commitPiggybacked(txn, rs, ws, items, &held, &holding, &aborts, remoteSheltered, commitStart)
+				done, err := r.commitPiggybacked(txn, rs, ws, items, &held, &holding, &aborts, remoteSheltered, txnStart, leaseStart)
 				if done {
 					releaseHeld()
 					return err
@@ -221,6 +231,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			}
 			held, holding = id, true
 		}
+		r.stageLeaseWait.Observe(time.Since(leaseStart))
 
 		// Final validation and write-set dissemination. The reservation in
 		// the striped in-flight table serializes intersecting local
@@ -229,6 +240,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		// proceed concurrently on separate stripes. The reservation is held
 		// from before validation until the write-set's self-delivery.
 		wsCls := r.wsClasses(ws)
+		certStart := time.Now()
 		if !r.inflight.reserve(r.classes(items), wsCls, r.alive) {
 			txn.Abort()
 			return ErrEjected
@@ -236,7 +248,9 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		// Conflicts is Validate plus attribution: non-empty means the
 		// read-set is stale (abort), and the conflicting head writers say
 		// whether a remote transaction snuck past a held lease.
-		if conflicts := r.store.Conflicts(txn.Snapshot(), rs); len(conflicts) > 0 {
+		conflicts := r.store.Conflicts(txn.Snapshot(), rs)
+		r.stageCert.Observe(time.Since(certStart))
+		if len(conflicts) > 0 {
 			r.inflight.release(wsCls)
 			txn.Abort()
 			r.nAborts.Inc()
@@ -256,6 +270,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		tid := r.nextTxnID()
 		ch := r.registerWaiter(tid)
 		if r.cfg.Batch.Disable {
+			r.markSent([]stm.TxnID{tid}, time.Now())
 			if err := r.gcsEP.URBroadcast(&applyWSMsg{TxnID: tid, LeaseID: held, WS: ws}); err != nil {
 				r.inflight.release(wsCls)
 				r.dropWaiter(tid)
@@ -275,7 +290,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		txn.Finish()
 		r.nCommits.Inc()
 		r.retries.Observe(aborts)
-		r.latency.Observe(time.Since(commitStart))
+		r.latency.Observe(time.Since(txnStart))
 		r.observeCommitted(TxnReport{
 			ID:                    tid,
 			Snapshot:              txn.Snapshot(),
@@ -303,7 +318,8 @@ func (r *Replica) commitPiggybacked(
 	holding *bool,
 	aborts *int,
 	sheltered int,
-	commitStart time.Time,
+	txnStart time.Time,
+	leaseStart time.Time,
 ) (bool, error) {
 	tid := r.nextTxnID()
 	ch := r.registerWaiter(tid)
@@ -316,13 +332,17 @@ func (r *Replica) commitPiggybacked(
 		return false, nil // deadlock victim: retry
 	}
 	*held, *holding = id, true
+	certStart := time.Now()
+	r.stageLeaseWait.Observe(certStart.Sub(leaseStart))
 
-	switch err := <-ch; {
+	outcome := <-ch
+	r.stageCert.Observe(time.Since(certStart))
+	switch err := outcome; {
 	case err == nil:
 		txn.Finish()
 		r.nCommits.Inc()
 		r.retries.Observe(*aborts)
-		r.latency.Observe(time.Since(commitStart))
+		r.latency.Observe(time.Since(txnStart))
 		r.observeCommitted(TxnReport{
 			ID:                    tid,
 			Snapshot:              txn.Snapshot(),

@@ -214,9 +214,14 @@ type coalescer struct {
 	r   *Replica
 	cfg BatchConfig
 
-	mu           sync.Mutex
-	pending      []applyWSEntry
-	pendingCls   [][]lease.ConflictClass
+	mu         sync.Mutex
+	pending    []applyWSEntry
+	pendingCls [][]lease.ConflictClass
+	// pendingAt records each entry's enqueue time (parallel to pending) for
+	// the coalescer-residency histogram. It lives here, not on the wire
+	// entry: applyWSEntry is gob-encoded and local timestamps must not
+	// travel.
+	pendingAt    []time.Time
 	pendingBytes int
 	outstanding  int
 	timer        *time.Timer
@@ -241,7 +246,9 @@ func (c *coalescer) enqueue(e applyWSEntry, cls []lease.ConflictClass) {
 	}
 	c.pending = append(c.pending, e)
 	c.pendingCls = append(c.pendingCls, cls)
+	c.pendingAt = append(c.pendingAt, time.Now())
 	c.pendingBytes += approxWSBytes(e.WS)
+	c.r.qCoalescer.Set(int64(len(c.pending)))
 	switch {
 	case c.outstanding == 0:
 		c.flushLocked(flushIdle)
@@ -287,10 +294,15 @@ func (c *coalescer) flushLocked(reason flushReason) {
 		c.timer = nil
 	}
 	c.timerGen++
-	entries, cls := c.pending, c.pendingCls
-	c.pending, c.pendingCls, c.pendingBytes = nil, nil, 0
+	entries, cls, enqueued := c.pending, c.pendingCls, c.pendingAt
+	c.pending, c.pendingCls, c.pendingAt, c.pendingBytes = nil, nil, nil, 0
+	c.r.qCoalescer.Set(0)
 	if len(entries) == 0 {
 		return
+	}
+	now := time.Now()
+	for _, at := range enqueued {
+		c.r.stageCoalescer.Observe(now.Sub(at))
 	}
 	c.r.batchSizes.Observe(len(entries))
 	c.r.flushCount[reason].Inc()
@@ -303,7 +315,13 @@ func (c *coalescer) flushLocked(reason flushReason) {
 			werr = ErrStopped
 		}
 		c.failLocked(entries, cls, werr)
+		return
 	}
+	ids := make([]stm.TxnID, len(entries))
+	for i, e := range entries {
+		ids[i] = e.TxnID
+	}
+	c.r.markSent(ids, now)
 }
 
 // fail drops every pending entry with err and forgets outstanding batches
@@ -313,7 +331,8 @@ func (c *coalescer) fail(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	entries, cls := c.pending, c.pendingCls
-	c.pending, c.pendingCls, c.pendingBytes = nil, nil, 0
+	c.pending, c.pendingCls, c.pendingAt, c.pendingBytes = nil, nil, nil, 0
+	c.r.qCoalescer.Set(0)
 	c.outstanding = 0
 	c.timerGen++
 	if c.timer != nil {
@@ -511,4 +530,11 @@ func (s *applyScheduler) stats() (int64, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.tasksDone, s.maxRunning
+}
+
+// backlog returns the number of submitted tasks not yet finished (a gauge).
+func (s *applyScheduler) backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inFlight
 }

@@ -33,6 +33,7 @@ import (
 	"github.com/alcstm/alc/internal/lease"
 	"github.com/alcstm/alc/internal/metrics"
 	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/trace"
 	"github.com/alcstm/alc/internal/transport"
 )
 
@@ -102,10 +103,11 @@ type Config struct {
 	// Batch tunes the group-commit coalescer and the parallel apply stage
 	// (ALC only; CERT applies in the total order, on the dispatcher).
 	Batch BatchConfig
-	// Observer, when non-nil, receives per-transaction lifecycle events
-	// (invoke/commit/terminal failure) for offline history checking. See
-	// Observer.
-	Observer Observer
+	// Tracer, when non-nil, receives the replica's protocol events:
+	// per-transaction lifecycle (invoke/commit/terminal failure, consumed by
+	// the offline history checker via a trace.Sink) and lease-manager state
+	// transitions. When Lease.Tracer is unset it inherits this tracer.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -118,6 +120,9 @@ func (c *Config) fillDefaults() {
 	if c.GCEvery == 0 {
 		c.GCEvery = 4096
 	}
+	if c.Lease.Tracer == nil {
+		c.Lease.Tracer = c.Tracer
+	}
 	c.Batch.fillDefaults()
 }
 
@@ -125,13 +130,66 @@ func (c *Config) fillDefaults() {
 // fields are immutable values: safe to retain and read while the replica
 // keeps committing.
 type Stats struct {
-	Commits       int64
-	Aborts        int64 // certification/validation failures (before retry)
-	ReadOnly      int64
-	Lease         lease.Stats
+	Commits  int64
+	Aborts   int64 // certification/validation failures (before retry)
+	ReadOnly int64
+	Lease    lease.Stats
 	RetriesPerTxn metrics.IntDistSnapshot // aborts suffered per committed txn
+	// CommitLatency is the end-to-end update-transaction latency: from the
+	// start of the FIRST execution attempt to the durable commit, re-executions
+	// included. (It used to restart on every retry, under-reporting exactly
+	// the transactions contention hurts most.)
 	CommitLatency metrics.HistogramSnapshot
 	Batch         BatchStats
+	Stages        StageStats
+	Queues        QueueStats
+}
+
+// StageStats decomposes the update-commit path into its pipeline stages, one
+// latency histogram per stage. Execution, LeaseWait and Certification are
+// per-attempt (a transaction retried N times contributes N+1 observations);
+// Coalescer and URB are per committed write-set; Apply is per delivered
+// batch. For an uncontended single-attempt workload the stage means sum to
+// roughly the end-to-end CommitLatency mean (Apply overlaps the URB window
+// and is excluded from that identity).
+type StageStats struct {
+	// Execution is the transactional run of fn: store.Begin through fn's
+	// return, per attempt.
+	Execution metrics.HistogramSnapshot
+	// LeaseWait is the lease-establishment block (ALC only): escalation,
+	// replacement, reuse or acquisition — zero-communication reuse shows up
+	// as near-zero observations, a cold acquisition as a full OAB round.
+	LeaseWait metrics.HistogramSnapshot
+	// Certification is the per-attempt validation step: for ALC the
+	// in-flight reservation plus the read-set conflict check; for CERT the
+	// full atomic-broadcast round up to the deterministic verdict; for the
+	// §4.5(c) piggyback the wait from lease enablement to the verdict.
+	Certification metrics.HistogramSnapshot
+	// Coalescer is a write-set's residency in the group-commit coalescer:
+	// enqueue to batch broadcast (zero on the idle-pipe fast path).
+	Coalescer metrics.HistogramSnapshot
+	// URB is the broadcast-to-self-delivery time of the write-set (batch):
+	// the paper's single URB commit step, as locally observable.
+	URB metrics.HistogramSnapshot
+	// Apply is the write-set application: one observation per delivered
+	// batch (local and remote), under the store's commit lock.
+	Apply metrics.HistogramSnapshot
+}
+
+// QueueStats samples the instantaneous depths of the commit pipeline's
+// queues (gauges: they move both ways).
+type QueueStats struct {
+	// CoalescerPending is the number of write-sets waiting in the coalescer
+	// for the next batch.
+	CoalescerPending int64
+	// LeaseWaiters is the number of lease acquisitions currently blocked
+	// waiting for enablement.
+	LeaseWaiters int64
+	// ApplyBacklog is the number of delivered apply tasks (batches) not yet
+	// fully applied.
+	ApplyBacklog int64
+	// GCS is the group-communication endpoint's queue depths.
+	GCS gcs.QueueStats
 }
 
 // BatchStats describes the group-commit coalescer and the parallel apply
@@ -184,7 +242,7 @@ type Replica struct {
 
 	// Waiters for commit outcomes, keyed by transaction ID.
 	waitMu  sync.Mutex
-	waiters map[stm.TxnID]chan error
+	waiters map[stm.TxnID]*commitWaiter
 
 	// CERT deterministic validation log.
 	certLog *certLog
@@ -203,10 +261,19 @@ type Replica struct {
 	nAborts     metrics.Counter
 	nReadOnly   metrics.Counter
 	retries     *metrics.IntDist
-	latency     metrics.Histogram
+	latency     metrics.Histogram // end-to-end, first attempt to commit
 	batchSizes  *metrics.IntDist
 	batchedTxns metrics.Counter
 	flushCount  [numFlushReasons]metrics.Counter
+
+	// Per-stage latency histograms (see StageStats for what each covers).
+	stageExec      metrics.Histogram
+	stageLeaseWait metrics.Histogram
+	stageCert      metrics.Histogram
+	stageCoalescer metrics.Histogram
+	stageURB       metrics.Histogram
+	stageApply     metrics.Histogram
+	qCoalescer     metrics.Gauge
 }
 
 // NewReplica wires a replica over the given transport. The GCS endpoint is
@@ -218,7 +285,7 @@ func NewReplica(tr transport.Transport, cfg Config, gcsCfg gcs.Config) (*Replica
 		cfg:        cfg,
 		store:      stm.NewStore(),
 		inflight:   newInflightTable(),
-		waiters:    make(map[stm.TxnID]chan error),
+		waiters:    make(map[stm.TxnID]*commitWaiter),
 		certLog:    newCertLog(cfg.CertLogSize),
 		retries:    metrics.NewIntDist(),
 		batchSizes: metrics.NewIntDist(),
@@ -290,7 +357,19 @@ func (r *Replica) Stats() Stats {
 		tasks, maxPar := r.sched.stats()
 		s.Batch.ApplyTasks = tasks
 		s.Batch.ApplyMaxParallel = int64(maxPar)
+		s.Queues.ApplyBacklog = int64(r.sched.backlog())
 	}
+	s.Stages = StageStats{
+		Execution:     r.stageExec.Snapshot(),
+		LeaseWait:     r.stageLeaseWait.Snapshot(),
+		Certification: r.stageCert.Snapshot(),
+		Coalescer:     r.stageCoalescer.Snapshot(),
+		URB:           r.stageURB.Snapshot(),
+		Apply:         r.stageApply.Snapshot(),
+	}
+	s.Queues.CoalescerPending = r.qCoalescer.Value()
+	s.Queues.LeaseWaiters = s.Lease.Waiting
+	s.Queues.GCS = r.gcsEP.QueueStats()
 	return s
 }
 
@@ -365,23 +444,47 @@ func (r *Replica) maybeGC() {
 
 // --- Commit outcome plumbing --------------------------------------------------
 
+// commitWaiter tracks one local transaction awaiting its commit outcome.
+// sentAt is stamped when the write-set leaves on the URB (markSent), which
+// lets resolveWaiter attribute the broadcast→self-delivery window to the URB
+// stage histogram; it stays zero for outcomes that involve no URB of their
+// own (CERT, §4.5(c) piggyback).
+type commitWaiter struct {
+	ch     chan error
+	sentAt time.Time
+}
+
 func (r *Replica) registerWaiter(id stm.TxnID) chan error {
-	ch := make(chan error, 1)
+	w := &commitWaiter{ch: make(chan error, 1)}
 	r.waitMu.Lock()
-	r.waiters[id] = ch
+	r.waiters[id] = w
 	r.waitMu.Unlock()
-	return ch
+	return w.ch
+}
+
+// markSent stamps the URB departure time on the given waiters.
+func (r *Replica) markSent(ids []stm.TxnID, at time.Time) {
+	r.waitMu.Lock()
+	for _, id := range ids {
+		if w, ok := r.waiters[id]; ok {
+			w.sentAt = at
+		}
+	}
+	r.waitMu.Unlock()
 }
 
 func (r *Replica) resolveWaiter(id stm.TxnID, err error) {
 	r.waitMu.Lock()
-	ch, ok := r.waiters[id]
+	w, ok := r.waiters[id]
 	if ok {
 		delete(r.waiters, id)
 	}
 	r.waitMu.Unlock()
 	if ok {
-		ch <- err
+		if err == nil && !w.sentAt.IsZero() {
+			r.stageURB.Observe(time.Since(w.sentAt))
+		}
+		w.ch <- err
 	}
 }
 
@@ -393,9 +496,9 @@ func (r *Replica) dropWaiter(id stm.TxnID) {
 
 func (r *Replica) failAllWaiters(err error) {
 	r.waitMu.Lock()
-	for id, ch := range r.waiters {
+	for id, w := range r.waiters {
 		delete(r.waiters, id)
-		ch <- err
+		w.ch <- err
 	}
 	r.waitMu.Unlock()
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/lease"
 	"github.com/alcstm/alc/internal/stm"
@@ -151,6 +153,8 @@ func (r *Replica) enqueueApply(from transport.ID, entries []applyWSEntry, fromBa
 // applyEntries installs a delivered batch under one acquisition of the
 // store's commit lock and resolves the local waiters it carries.
 func (r *Replica) applyEntries(entries []applyWSEntry, fromBatch bool) {
+	applyStart := time.Now()
+	defer func() { r.stageApply.Observe(time.Since(applyStart)) }()
 	batch := make([]stm.TxnWriteSet, len(entries))
 	for i, e := range entries {
 		batch[i] = stm.TxnWriteSet{Writer: e.TxnID, WS: e.WS}

@@ -3,35 +3,20 @@ package core
 import (
 	"github.com/alcstm/alc/internal/lease"
 	"github.com/alcstm/alc/internal/stm"
-	"github.com/alcstm/alc/internal/transport"
+	"github.com/alcstm/alc/internal/trace"
 )
 
-// Observer receives per-transaction lifecycle events from a replica's commit
-// path. It exists for the offline history checker (internal/history): the
-// recorded reports, combined with the per-box version orders the stores
-// retain, are enough to certify one-copy serializability and the ALC
-// lease-shelter invariant after a simulation run.
-//
-// Implementations must be safe for concurrent use: every committing goroutine
-// calls the observer directly. Callbacks run on the commit path, so they
-// should be cheap (append to a locked log, not I/O).
-type Observer interface {
-	// TxnInvoked fires once per Atomic call (not per re-execution attempt),
-	// before the first attempt begins.
-	TxnInvoked(replica transport.ID)
-	// TxnCommitted fires after the transaction's write-set self-delivered
-	// (ALC) or certified in the total order (CERT) — i.e. after the commit is
-	// durable cluster-wide from this replica's point of view.
-	TxnCommitted(TxnReport)
-	// TxnFailed fires when an Atomic call returns a terminal error (ejection,
-	// shutdown, retry budget, or an application error from fn).
-	TxnFailed(replica transport.ID, err error)
-}
+// Per-transaction lifecycle events are emitted into the configured
+// trace.Tracer (Config.Tracer). The offline history checker consumes them by
+// attaching a trace.Sink; KindTxnCommitted events carry a TxnReport payload.
+// Emits run on the commit path, so sinks must be cheap (append to a locked
+// log, not I/O).
 
 // TxnReport is the checker-facing record of one committed transaction: the
 // identity its write-set versions carry cluster-wide, the snapshot and
 // read-set of the final (committed) execution, and the abort history of the
-// attempts before it.
+// attempts before it. It travels as the Payload of a KindTxnCommitted trace
+// event.
 type TxnReport struct {
 	// ID is the cluster-unique transaction ID the write-set was installed
 	// under; it matches the writer IDs in Store.VersionWriters.
@@ -60,24 +45,24 @@ type TxnReport struct {
 	Lease lease.RequestID
 }
 
-// observer returns the configured observer or nil. Hooks guard on nil so the
-// common (unobserved) path costs one predictable branch.
-func (r *Replica) observer() Observer { return r.cfg.Observer }
+// The nil guards keep the unobserved path to one predictable branch and
+// avoid boxing event payloads nobody will read (Tracer.Emit itself is also
+// nil-safe).
 
 func (r *Replica) observeInvoked() {
-	if o := r.observer(); o != nil {
-		o.TxnInvoked(r.id)
+	if t := r.cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Replica: r.id, Kind: trace.KindTxnInvoked})
 	}
 }
 
 func (r *Replica) observeCommitted(rep TxnReport) {
-	if o := r.observer(); o != nil {
-		o.TxnCommitted(rep)
+	if t := r.cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Replica: r.id, Kind: trace.KindTxnCommitted, Txn: rep.ID.Seq, Payload: rep})
 	}
 }
 
 func (r *Replica) observeFailed(err error) {
-	if o := r.observer(); o != nil {
-		o.TxnFailed(r.id, err)
+	if t := r.cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Replica: r.id, Kind: trace.KindTxnFailed, Msg: err.Error(), Payload: err})
 	}
 }

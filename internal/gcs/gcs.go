@@ -313,6 +313,39 @@ func (e *Endpoint) InPrimary() bool {
 	return e.inPrimary
 }
 
+// QueueStats is a point-in-time view of the endpoint's internal queue
+// depths, for the observability layer. All depths are instantaneous levels
+// (gauges): they move both ways as the dispatcher drains them.
+type QueueStats struct {
+	// Outbox is the number of application broadcasts queued behind a flush
+	// or awaiting the dispatcher.
+	Outbox int `json:"outbox"`
+	// URBPending is the size of the URB pending set: messages received but
+	// not yet UR-delivered (awaiting quorum acks or causal predecessors).
+	URBPending int `json:"urbPending"`
+	// URBRetained counts delivered messages retained for flush/stability.
+	URBRetained int `json:"urbRetained"`
+	// SeqQueue is the sequencer's backlog of unassigned total-order slots
+	// (nonzero only on the coordinator).
+	SeqQueue int `json:"seqQueue"`
+	// Dispatch is the number of inbound transport messages queued ahead of
+	// the dispatcher goroutine.
+	Dispatch int `json:"dispatch"`
+}
+
+// QueueStats samples the endpoint's queue depths.
+func (e *Endpoint) QueueStats() QueueStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return QueueStats{
+		Outbox:      len(e.outbox),
+		URBPending:  len(e.vs.pending),
+		URBRetained: len(e.vs.retained),
+		SeqQueue:    len(e.vs.seqQueue),
+		Dispatch:    len(e.tr.Inbox()),
+	}
+}
+
 // OABroadcast submits body for optimistic atomic broadcast. The call is
 // asynchronous: delivery happens via the handler. It fails only if the
 // process is ejected or stopped.

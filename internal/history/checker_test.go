@@ -1,12 +1,12 @@
 package history
 
 import (
-	"errors"
 	"strings"
 	"testing"
 
 	"github.com/alcstm/alc/internal/core"
 	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/trace"
 	"github.com/alcstm/alc/internal/transport"
 )
 
@@ -244,10 +244,11 @@ func TestCheckNoWitnessDegrades(t *testing.T) {
 
 func TestRecorder(t *testing.T) {
 	r := NewRecorder()
-	r.TxnInvoked(1)
-	r.TxnInvoked(2)
-	r.TxnCommitted(core.TxnReport{ID: tid(1, 1)})
-	r.TxnFailed(2, errors.New("boom"))
+	r.TraceEvent(trace.Event{Kind: trace.KindTxnInvoked, Replica: 1})
+	r.TraceEvent(trace.Event{Kind: trace.KindTxnInvoked, Replica: 2})
+	r.TraceEvent(trace.Event{Kind: trace.KindTxnCommitted, Payload: core.TxnReport{ID: tid(1, 1)}})
+	r.TraceEvent(trace.Event{Kind: trace.KindTxnFailed, Replica: 2, Msg: "boom"})
+	r.TraceEvent(trace.Event{Kind: trace.KindLease, Msg: "ignored by the recorder"})
 	if got := r.Invoked(); got != 2 {
 		t.Fatalf("Invoked = %d, want 2", got)
 	}

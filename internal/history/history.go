@@ -16,7 +16,7 @@
 //     RemoteShelteredAborts must be 0), which is how "at most one remote
 //     abort per transaction" is enforced mechanically.
 //
-// The package has two halves: Recorder, a core.Observer that captures
+// The package has two halves: Recorder, a trace.Sink that captures
 // per-transaction reports while a cluster runs, and Check, the offline
 // verdict over those reports plus the per-box version orders retained by the
 // stores (stm.Store.VersionWriters).
@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/trace"
 	"github.com/alcstm/alc/internal/transport"
 )
 
@@ -35,10 +36,11 @@ type Failure struct {
 	Err     string
 }
 
-// Recorder is a thread-safe core.Observer that accumulates transaction
-// reports from any number of replicas. Install one shared Recorder as every
-// replica's Config.Observer; reports carry the executing replica in their
-// transaction ID.
+// Recorder is a thread-safe trace.Sink that accumulates transaction
+// lifecycle events from any number of replicas. Attach one shared Recorder
+// to the tracer every replica's Config.Tracer points at; reports carry the
+// executing replica in their transaction ID. Ring wraparound cannot lose
+// events: sinks observe every emit, not the ring's tail.
 type Recorder struct {
 	mu       sync.Mutex
 	invoked  map[transport.ID]int64
@@ -51,25 +53,27 @@ func NewRecorder() *Recorder {
 	return &Recorder{invoked: make(map[transport.ID]int64)}
 }
 
-// TxnInvoked implements core.Observer.
-func (r *Recorder) TxnInvoked(replica transport.ID) {
-	r.mu.Lock()
-	r.invoked[replica]++
-	r.mu.Unlock()
-}
-
-// TxnCommitted implements core.Observer.
-func (r *Recorder) TxnCommitted(rep core.TxnReport) {
-	r.mu.Lock()
-	r.commits = append(r.commits, rep)
-	r.mu.Unlock()
-}
-
-// TxnFailed implements core.Observer.
-func (r *Recorder) TxnFailed(replica transport.ID, err error) {
-	r.mu.Lock()
-	r.failures = append(r.failures, Failure{Replica: replica, Err: err.Error()})
-	r.mu.Unlock()
+// TraceEvent implements trace.Sink: transaction lifecycle events are
+// recorded, everything else (lease transitions, batches) is ignored.
+func (r *Recorder) TraceEvent(e trace.Event) {
+	switch e.Kind {
+	case trace.KindTxnInvoked:
+		r.mu.Lock()
+		r.invoked[e.Replica]++
+		r.mu.Unlock()
+	case trace.KindTxnCommitted:
+		rep, ok := e.Payload.(core.TxnReport)
+		if !ok {
+			return
+		}
+		r.mu.Lock()
+		r.commits = append(r.commits, rep)
+		r.mu.Unlock()
+	case trace.KindTxnFailed:
+		r.mu.Lock()
+		r.failures = append(r.failures, Failure{Replica: e.Replica, Err: e.Msg})
+		r.mu.Unlock()
+	}
 }
 
 // Commits returns a copy of the commit reports recorded so far.
@@ -101,4 +105,4 @@ func (r *Recorder) Invoked() int64 {
 	return n
 }
 
-var _ core.Observer = (*Recorder)(nil)
+var _ trace.Sink = (*Recorder)(nil)

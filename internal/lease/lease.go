@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/alcstm/alc/internal/metrics"
+	"github.com/alcstm/alc/internal/trace"
 	"github.com/alcstm/alc/internal/transport"
 )
 
@@ -103,10 +104,11 @@ type Config struct {
 	// DeadlockDetection enables the conservative local wait-for-graph
 	// detector (§4.4). Victims release their own requests and retry.
 	DeadlockDetection bool
-	// Trace, when non-nil, receives a line per lease-table state transition
-	// (enqueue, block, free, purge, association changes). Diagnostics only:
-	// it runs under the manager's lock and must not call back in.
-	Trace func(format string, args ...any)
+	// Tracer, when non-nil, receives a KindLease event per lease-table state
+	// transition (enqueue, block, free, purge, association changes).
+	// Diagnostics only: emits run under the manager's lock and sinks must
+	// not call back in.
+	Tracer *trace.Tracer
 }
 
 // Stats exposes lease-manager counters.
@@ -115,6 +117,7 @@ type Stats struct {
 	Reused    int64 // transactions served by an already-held lease
 	Freed     int64 // lease requests released by this replica
 	Deadlocks int64 // local deadlock victims
+	Waiting   int64 // acquisitions currently blocked in waitEnabled (gauge)
 }
 
 // reqState is a lease request's replicated queue state plus (for local
@@ -170,6 +173,7 @@ type Manager struct {
 	nReused    metrics.Counter
 	nFreed     metrics.Counter
 	nDeadlocks metrics.Counter
+	nWaiting   metrics.Gauge
 }
 
 // PayloadHandler, when set, receives each TO-delivered request's piggybacked
@@ -192,12 +196,10 @@ func NewManager(self transport.ID, bcast Broadcaster, cfg Config) *Manager {
 	return m
 }
 
-// tracef emits one diagnostic line when tracing is configured. Callers hold
+// tracef emits one diagnostic event when tracing is configured. Callers hold
 // the manager lock.
 func (m *Manager) tracef(format string, args ...any) {
-	if m.cfg.Trace != nil {
-		m.cfg.Trace("[lm %d] "+format, append([]any{m.self}, args...)...)
-	}
+	m.cfg.Tracer.Emitf(m.self, trace.KindLease, 0, format, args...)
 }
 
 // SetPayloadHandler installs the enabled-request payload callback.
@@ -214,6 +216,7 @@ func (m *Manager) Stats() Stats {
 		Reused:    m.nReused.Value(),
 		Freed:     m.nFreed.Value(),
 		Deadlocks: m.nDeadlocks.Value(),
+		Waiting:   m.nWaiting.Value(),
 	}
 }
 
@@ -346,6 +349,8 @@ func (m *Manager) gcLocked(st *reqState) {
 // waitEnabledLocked blocks until st is enabled, the replica leaves the
 // primary component, or st is aborted as a deadlock victim.
 func (m *Manager) waitEnabledLocked(st *reqState) error {
+	m.nWaiting.Inc()
+	defer m.nWaiting.Dec()
 	if m.cfg.DeadlockDetection {
 		// Deadlock scans are event-gated; a cycle completed during a quiet
 		// period would otherwise go unnoticed, so each waiter pokes the

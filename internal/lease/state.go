@@ -3,6 +3,8 @@ package lease
 import (
 	"fmt"
 	"sort"
+
+	"github.com/alcstm/alc/internal/transport"
 )
 
 // State is the serializable lease-table state used for state transfer when a
@@ -145,26 +147,81 @@ func (m *Manager) HoldsLease(dataSet []string) bool {
 	return false
 }
 
-// DumpState renders the lease table for diagnostics.
-func (m *Manager) DumpState() string {
+// DebugRequest is one lease request's state as seen by this replica's
+// manager, for runtime introspection (/debug/alc and DumpState).
+type DebugRequest struct {
+	ID       RequestID `json:"id"`
+	Local    bool      `json:"local"`
+	Enqueued bool      `json:"enqueued"`
+	Blocked  bool      `json:"blocked"`
+	Freed    bool      `json:"freed"`
+	Aborted  bool      `json:"aborted"`
+	Active   int       `json:"active"`
+	Replace  bool      `json:"replacePending"`
+	Enabled  bool      `json:"enabled"`
+	Wildcard bool      `json:"wildcard,omitempty"`
+	Classes  int       `json:"classes"`
+}
+
+// DebugSnapshot is a machine-readable view of the lease table: the request
+// states plus summary levels. It is a diagnostics snapshot, not replicated
+// state — see SnapshotState for the latter.
+type DebugSnapshot struct {
+	Self       transport.ID   `json:"self"`
+	InPrimary  bool           `json:"inPrimary"`
+	EarlyFreed int            `json:"earlyFreed"`
+	Classes    int            `json:"classQueues"`
+	Waiting    int64          `json:"waiting"`
+	Requests   []DebugRequest `json:"requests"`
+}
+
+// Debug captures the lease table for diagnostics: sorted by request ID so
+// successive snapshots diff cleanly.
+func (m *Manager) Debug() DebugSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := fmt.Sprintf("LM[%d] inPrimary=%t reqs=%d earlyFreed=%d\n", m.self, m.inPrimary, len(m.reqs), len(m.earlyFreed))
-	ids := make([]RequestID, 0, len(m.reqs))
-	for id := range m.reqs {
-		ids = append(ids, id)
+	snap := DebugSnapshot{
+		Self:       m.self,
+		InPrimary:  m.inPrimary,
+		EarlyFreed: len(m.earlyFreed),
+		Classes:    len(m.queues),
+		Waiting:    m.nWaiting.Value(),
+		Requests:   make([]DebugRequest, 0, len(m.reqs)),
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Proc != ids[j].Proc {
-			return ids[i].Proc < ids[j].Proc
+	for id, st := range m.reqs {
+		snap.Requests = append(snap.Requests, DebugRequest{
+			ID:       id,
+			Local:    st.local,
+			Enqueued: st.enqueued,
+			Blocked:  st.blocked,
+			Freed:    st.freed,
+			Aborted:  st.aborted,
+			Active:   st.active,
+			Replace:  st.replacePending,
+			Enabled:  st.enqueued && !st.freed && m.enabledLocked(st),
+			Wildcard: st.req.Wildcard,
+			Classes:  len(st.req.Classes),
+		})
+	}
+	sort.Slice(snap.Requests, func(i, j int) bool {
+		a, b := snap.Requests[i].ID, snap.Requests[j].ID
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
 		}
-		return ids[i].Seq < ids[j].Seq
+		return a.Seq < b.Seq
 	})
-	for _, id := range ids {
-		st := m.reqs[id]
+	return snap
+}
+
+// DumpState renders the lease table for diagnostics.
+func (m *Manager) DumpState() string {
+	snap := m.Debug()
+	out := fmt.Sprintf("LM[%d] inPrimary=%t reqs=%d earlyFreed=%d\n",
+		snap.Self, snap.InPrimary, len(snap.Requests), snap.EarlyFreed)
+	for _, r := range snap.Requests {
 		out += fmt.Sprintf("  %v local=%t enq=%t blocked=%t freed=%t aborted=%t active=%d replace=%t enabled=%t classes=%d\n",
-			id, st.local, st.enqueued, st.blocked, st.freed, st.aborted, st.active, st.replacePending,
-			st.enqueued && !st.freed && m.enabledLocked(st), len(st.req.Classes))
+			r.ID, r.Local, r.Enqueued, r.Blocked, r.Freed, r.Aborted, r.Active, r.Replace,
+			r.Enabled, r.Classes)
 	}
 	return out
 }

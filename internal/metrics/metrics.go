@@ -27,6 +27,27 @@ func (c *Counter) Add(delta int64) { c.v.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// Gauge is an instantaneous level (queue depth, backlog size). Unlike a
+// Counter it can move both ways. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram records durations in geometrically spaced buckets from 1µs to
 // ~17.9min and reports percentiles. It is safe for concurrent use.
 type Histogram struct {
@@ -53,18 +74,35 @@ var _bucketBounds = func() [_numBuckets]time.Duration {
 }()
 
 // bucketFor returns the index of the first bucket whose upper bound is >= d.
+// The logarithm only lands near the right index — at exact bucket bounds the
+// float rounding can go either way — so the estimate is corrected against the
+// actual bounds table, which is the authoritative definition.
 func bucketFor(d time.Duration) int {
 	if d <= 0 {
 		return 0
 	}
 	idx := int(math.Ceil(math.Log(float64(d)/_bucketBase) / math.Log(_bucketRatio)))
 	if idx < 0 {
-		return 0
+		idx = 0
 	}
 	if idx >= _numBuckets {
-		return _numBuckets - 1
+		idx = _numBuckets - 1
+	}
+	for idx > 0 && _bucketBounds[idx-1] >= d {
+		idx--
+	}
+	for idx < _numBuckets-1 && _bucketBounds[idx] < d {
+		idx++
 	}
 	return idx
+}
+
+// BucketBounds returns the histogram bucket upper bounds, ascending. The last
+// bucket additionally absorbs every observation above its bound.
+func BucketBounds() []time.Duration {
+	out := make([]time.Duration, _numBuckets)
+	copy(out, _bucketBounds[:])
+	return out
 }
 
 // Observe records one duration.
@@ -86,6 +124,13 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Snapshot returns an immutable copy of the histogram. Snapshots are plain
 // values: safe to retain, compare and read concurrently while the live
 // histogram keeps observing.
+//
+// Observe updates bucket, count and sum with independent atomics, so a
+// snapshot racing an observation can pair a sum with a bucket population that
+// does not yet (or no longer) includes it. The snapshot is made
+// self-consistent by deriving the count from the buckets and clamping the sum
+// into the range the bucket populations admit, so Mean always lies within the
+// observed bucket bounds.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	var s HistogramSnapshot
 	for i := range h.buckets {
@@ -94,6 +139,30 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.sum = h.sum.Load()
 	s.max = h.max.Load()
+
+	// Clamp sum to [Σ nᵢ·lowerᵢ, Σ nᵢ·upperᵢ] (float accumulation: the clamp
+	// is a consistency bound, not an exact value, and floats cannot overflow
+	// here). The last bucket is unbounded above, so it never caps the sum.
+	var lo, hi float64
+	unbounded := s.buckets[_numBuckets-1] > 0
+	for i, n := range s.buckets {
+		if n == 0 {
+			continue
+		}
+		if i > 0 {
+			lo += float64(n) * float64(_bucketBounds[i-1])
+		}
+		hi += float64(n) * float64(_bucketBounds[i])
+	}
+	if float64(s.sum) < lo {
+		s.sum = int64(lo)
+	}
+	if !unbounded && float64(s.sum) > hi {
+		s.sum = int64(hi)
+	}
+	if s.count == 0 {
+		s.sum = 0
+	}
 	return s
 }
 
@@ -108,6 +177,17 @@ type HistogramSnapshot struct {
 
 // Count returns the number of observations.
 func (s HistogramSnapshot) Count() int64 { return s.count }
+
+// Sum returns the total observed duration.
+func (s HistogramSnapshot) Sum() time.Duration { return time.Duration(s.sum) }
+
+// BucketCounts returns the per-bucket observation counts (not cumulative),
+// parallel to BucketBounds.
+func (s HistogramSnapshot) BucketCounts() []int64 {
+	out := make([]int64, _numBuckets)
+	copy(out, s.buckets[:])
+	return out
+}
 
 // Mean returns the mean observed duration.
 func (s HistogramSnapshot) Mean() time.Duration {
@@ -145,13 +225,10 @@ func (s HistogramSnapshot) String() string {
 		s.Count(), s.Mean(), s.Quantile(0.50), s.Quantile(0.99), s.Max())
 }
 
-// Mean returns the mean observed duration.
+// Mean returns the mean observed duration. It reads through Snapshot so a
+// concurrent Observe cannot pair a mismatched sum and count.
 func (h *Histogram) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
+	return h.Snapshot().Mean()
 }
 
 // Max returns the largest observed duration.

@@ -107,6 +107,126 @@ func TestQuickQuantileIsUpperBound(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("Value = %d, want 6", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("Value = %d, want -3", got)
+	}
+}
+
+// bucketForReference is the authoritative linear scan bucketFor is checked
+// against: first bucket whose upper bound is >= d, last bucket otherwise.
+func bucketForReference(d time.Duration) int {
+	for i, b := range _bucketBounds {
+		if b >= d {
+			return i
+		}
+	}
+	return _numBuckets - 1
+}
+
+func TestBucketForMatchesReferenceScan(t *testing.T) {
+	// Exact bucket bounds and their ±1ns neighbours are where the log-based
+	// estimate historically disagreed with the bounds table.
+	cases := []time.Duration{0, -time.Second, 1, time.Microsecond - 1,
+		time.Microsecond, time.Microsecond + 1, 24 * time.Hour, 1<<62 - 1}
+	for _, b := range _bucketBounds {
+		cases = append(cases, b-1, b, b+1)
+	}
+	for _, d := range cases {
+		if got, want := bucketFor(d), bucketForReference(d); got != want {
+			t.Errorf("bucketFor(%v) = %d, want %d (bound[%d]=%v)", d, got, want, want, _bucketBounds[want])
+		}
+	}
+}
+
+func TestQuickBucketForMatchesReferenceScan(t *testing.T) {
+	f := func(ns int64) bool {
+		d := time.Duration(ns)
+		return bucketFor(d) == bucketForReference(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketBoundsAccessor(t *testing.T) {
+	bounds := BucketBounds()
+	if len(bounds) != _numBuckets {
+		t.Fatalf("len(BucketBounds()) = %d, want %d", len(bounds), _numBuckets)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v <= %v", i, bounds[i], bounds[i-1])
+		}
+	}
+	bounds[0] = 0 // mutating the copy must not affect the histogram's table
+	if BucketBounds()[0] == 0 {
+		t.Fatal("BucketBounds returned a live reference, want a copy")
+	}
+}
+
+// TestHistogramSnapshotConsistentUnderRace hammers a histogram with
+// concurrent Observe calls while snapshotting, and asserts every snapshot is
+// internally consistent: count matches the bucket populations and the mean
+// lies within the bounds those populations admit. Run with -race.
+func TestHistogramSnapshotConsistentUnderRace(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	durations := []time.Duration{5 * time.Microsecond, 80 * time.Microsecond, 3 * time.Millisecond}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(durations[(i+j)%len(durations)])
+			}
+		}(i)
+	}
+	lo, hi := durations[0], durations[len(durations)-1]
+	loBound := _bucketBounds[bucketFor(lo)-1] // lower edge of lo's bucket
+	hiBound := _bucketBounds[bucketFor(hi)]   // upper edge of hi's bucket
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		var n int64
+		for _, c := range s.BucketCounts() {
+			n += c
+		}
+		if n != s.Count() {
+			t.Fatalf("snapshot count %d != bucket total %d", s.Count(), n)
+		}
+		if s.Count() == 0 {
+			if s.Sum() != 0 || s.Mean() != 0 {
+				t.Fatalf("empty snapshot has sum=%v mean=%v", s.Sum(), s.Mean())
+			}
+			continue
+		}
+		if m := s.Mean(); m < loBound || m > hiBound {
+			t.Fatalf("snapshot mean %v outside admissible range [%v, %v] (count=%d sum=%v)",
+				m, loBound, hiBound, s.Count(), s.Sum())
+		}
+		if m := h.Mean(); m != 0 && (m < loBound || m > hiBound) {
+			t.Fatalf("live mean %v outside admissible range [%v, %v]", m, loBound, hiBound)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestIntDist(t *testing.T) {
 	d := NewIntDist()
 	for _, v := range []int{0, 0, 1, 1, 1, 2, 5} {

@@ -1,0 +1,410 @@
+// Package obs exposes a running replica's commit-pipeline internals over
+// HTTP: a Prometheus text exposition of every counter, gauge and per-stage
+// latency histogram (/metrics), a JSON introspection view of the lease
+// table, group-communication view and queue depths (/debug/alc), and the
+// standard pprof profiling handlers (/debug/pprof/*). The server is opt-in:
+// nothing listens unless a binary passes -http or a test calls Serve.
+//
+// The package deliberately has no third-party dependencies: the exposition
+// writer emits the Prometheus text format directly from the immutable
+// metrics snapshots (metrics.HistogramSnapshot, core.Stats), so the
+// observability surface costs one Stats() call per scrape and never touches
+// the commit path.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/gcs"
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/metrics"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Registry names the replicas an obs server reports on. Replicas are
+// registered as getters, not pointers, because a replica's identity changes
+// across crash/restart cycles (the cluster harness swaps the underlying
+// *core.Replica); a getter returning nil is skipped by every endpoint.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	name string
+	get  func() *core.Replica
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Default is the process-wide registry. Cluster harnesses auto-register
+// their replicas here so that a single -http flag observes everything the
+// process runs.
+var Default = NewRegistry()
+
+// Register adds a named replica getter and returns a cancel function that
+// removes it. Registering a name twice replaces the previous getter (the
+// older cancel then becomes a no-op).
+func (g *Registry) Register(name string, get func() *core.Replica) (cancel func()) {
+	e := &entry{name: name, get: get}
+	g.mu.Lock()
+	g.entries[name] = e
+	g.mu.Unlock()
+	return func() {
+		g.mu.Lock()
+		if g.entries[name] == e {
+			delete(g.entries, name)
+		}
+		g.mu.Unlock()
+	}
+}
+
+// snapshot returns the live entries sorted by name for deterministic output.
+func (g *Registry) snapshot() []*entry {
+	g.mu.Lock()
+	out := make([]*entry, 0, len(g.entries))
+	for _, e := range g.entries {
+		out = append(out, e)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Handler returns the HTTP handler serving /metrics, /debug/alc and
+// /debug/pprof/* over the given registry.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, reg)
+	})
+	mux.HandleFunc("/debug/alc", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(debugView(reg))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running obs HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an obs server on addr (e.g. ":8080", "127.0.0.1:0") over the
+// given registry (nil means Default).
+func Serve(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's bound address (resolves ":0" ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+
+// repSample is one replica's scrape-time snapshot.
+type repSample struct {
+	name    string
+	id      transport.ID
+	primary bool
+	view    gcs.View
+	stats   core.Stats
+}
+
+func collect(reg *Registry) []repSample {
+	var out []repSample
+	for _, e := range reg.snapshot() {
+		r := e.get()
+		if r == nil {
+			continue
+		}
+		out = append(out, repSample{
+			name:    e.name,
+			id:      r.ID(),
+			primary: r.InPrimary(),
+			view:    r.GCS().CurrentView(),
+			stats:   r.Stats(),
+		})
+	}
+	return out
+}
+
+func writeMetrics(w io.Writer, reg *Registry) {
+	samples := collect(reg)
+
+	counter := func(fam, help string, get func(repSample) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", fam, help, fam)
+		for _, s := range samples {
+			fmt.Fprintf(w, "%s{replica=%q} %d\n", fam, s.name, get(s))
+		}
+	}
+	counter("alc_commits_total", "Committed update transactions.",
+		func(s repSample) int64 { return s.stats.Commits })
+	counter("alc_aborts_total", "Certification/validation failures (each retried).",
+		func(s repSample) int64 { return s.stats.Aborts })
+	counter("alc_readonly_total", "Completed read-only transactions.",
+		func(s repSample) int64 { return s.stats.ReadOnly })
+	counter("alc_lease_requests_total", "Lease requests atomically broadcast.",
+		func(s repSample) int64 { return s.stats.Lease.Requested })
+	counter("alc_lease_reuses_total", "Commits served by an already-held lease.",
+		func(s repSample) int64 { return s.stats.Lease.Reused })
+	counter("alc_lease_frees_total", "Lease requests released by this replica.",
+		func(s repSample) int64 { return s.stats.Lease.Freed })
+	counter("alc_lease_deadlocks_total", "Local deadlock victims.",
+		func(s repSample) int64 { return s.stats.Lease.Deadlocks })
+	counter("alc_batches_total", "Write-set batches URB-broadcast.",
+		func(s repSample) int64 { return s.stats.Batch.Batches })
+	counter("alc_batched_txns_total", "Transactions carried by write-set batches.",
+		func(s repSample) int64 { return s.stats.Batch.BatchedTxns })
+	counter("alc_apply_tasks_total", "Apply-stage executions (batches).",
+		func(s repSample) int64 { return s.stats.Batch.ApplyTasks })
+
+	fmt.Fprintf(w, "# HELP alc_in_primary Whether the replica is in the primary component.\n# TYPE alc_in_primary gauge\n")
+	for _, s := range samples {
+		v := 0
+		if s.primary {
+			v = 1
+		}
+		fmt.Fprintf(w, "alc_in_primary{replica=%q} %d\n", s.name, v)
+	}
+	fmt.Fprintf(w, "# HELP alc_view_members Members in the replica's current view.\n# TYPE alc_view_members gauge\n")
+	for _, s := range samples {
+		fmt.Fprintf(w, "alc_view_members{replica=%q} %d\n", s.name, len(s.view.Members))
+	}
+
+	fmt.Fprintf(w, "# HELP alc_queue_depth Instantaneous commit-pipeline queue depths.\n# TYPE alc_queue_depth gauge\n")
+	for _, s := range samples {
+		q := s.stats.Queues
+		depths := []struct {
+			queue string
+			v     int64
+		}{
+			{"coalescer", q.CoalescerPending},
+			{"lease_waiters", q.LeaseWaiters},
+			{"apply_backlog", q.ApplyBacklog},
+			{"gcs_outbox", int64(q.GCS.Outbox)},
+			{"gcs_urb_pending", int64(q.GCS.URBPending)},
+			{"gcs_urb_retained", int64(q.GCS.URBRetained)},
+			{"gcs_seq_queue", int64(q.GCS.SeqQueue)},
+			{"gcs_dispatch", int64(q.GCS.Dispatch)},
+		}
+		for _, d := range depths {
+			fmt.Fprintf(w, "alc_queue_depth{replica=%q,queue=%q} %d\n", s.name, d.queue, d.v)
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP alc_commit_latency_seconds End-to-end update-commit latency (first attempt to durable commit).\n# TYPE alc_commit_latency_seconds histogram\n")
+	for _, s := range samples {
+		writeHist(w, "alc_commit_latency_seconds",
+			fmt.Sprintf("replica=%q", s.name), s.stats.CommitLatency)
+	}
+
+	fmt.Fprintf(w, "# HELP alc_stage_latency_seconds Per-stage commit-pipeline latency (see core.StageStats).\n# TYPE alc_stage_latency_seconds histogram\n")
+	for _, s := range samples {
+		st := s.stats.Stages
+		stages := []struct {
+			stage string
+			h     metrics.HistogramSnapshot
+		}{
+			{"execution", st.Execution},
+			{"lease_wait", st.LeaseWait},
+			{"certification", st.Certification},
+			{"coalescer", st.Coalescer},
+			{"urb", st.URB},
+			{"apply", st.Apply},
+		}
+		for _, sg := range stages {
+			writeHist(w, "alc_stage_latency_seconds",
+				fmt.Sprintf("replica=%q,stage=%q", s.name, sg.stage), sg.h)
+		}
+	}
+}
+
+// writeHist emits one histogram in the Prometheus text format: cumulative
+// buckets with le in seconds, a +Inf bucket, _sum and _count. labels is the
+// rendered label body without braces ("replica=\"x\",stage=\"urb\"").
+func writeHist(w io.Writer, fam, labels string, s metrics.HistogramSnapshot) {
+	bounds := metrics.BucketBounds()
+	counts := s.BucketCounts()
+	// Leading empty buckets are suppressed (cumulative count still zero) and
+	// so is everything after the last populated bucket (the cumulative count
+	// no longer changes; +Inf closes the family) — cumulative bucket
+	// semantics make both elisions lossless. The last bucket is unbounded
+	// above, so its finite bound is never emitted, only +Inf.
+	last := -1
+	for i, n := range counts {
+		if n != 0 {
+			last = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= last && i < len(counts)-1; i++ {
+		cum += counts[i]
+		if cum == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n",
+			fam, labels, formatSeconds(bounds[i]), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", fam, labels, s.Count())
+	fmt.Fprintf(w, "%s_sum{%s} %s\n", fam, labels,
+		strconv.FormatFloat(s.Sum().Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", fam, labels, s.Count())
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// ---------------------------------------------------------------------------
+// /debug/alc JSON view
+
+// HistSummary is a compact JSON rendering of a latency histogram.
+type HistSummary struct {
+	Count int64  `json:"count"`
+	Mean  string `json:"mean"`
+	P50   string `json:"p50"`
+	P99   string `json:"p99"`
+	Max   string `json:"max"`
+}
+
+func summarize(s metrics.HistogramSnapshot) HistSummary {
+	return HistSummary{
+		Count: s.Count(),
+		Mean:  s.Mean().String(),
+		P50:   s.Quantile(0.50).String(),
+		P99:   s.Quantile(0.99).String(),
+		Max:   s.Max().String(),
+	}
+}
+
+// DebugView is the /debug/alc document: one DebugReplica per registered,
+// live replica.
+type DebugView struct {
+	Replicas []DebugReplica `json:"replicas"`
+}
+
+// DebugReplica is one replica's introspection snapshot.
+type DebugReplica struct {
+	Name      string                 `json:"name"`
+	ID        transport.ID           `json:"id"`
+	InPrimary bool                   `json:"in_primary"`
+	View      ViewInfo               `json:"view"`
+	Counters  Counters               `json:"counters"`
+	Queues    core.QueueStats        `json:"queues"`
+	Stages    map[string]HistSummary `json:"stages"`
+	Commit    HistSummary            `json:"commit_latency"`
+	Lease     lease.DebugSnapshot    `json:"lease"`
+	Store     StoreInfo              `json:"store"`
+}
+
+// ViewInfo is the current group-communication view.
+type ViewInfo struct {
+	ID       uint64         `json:"id"`
+	Members  []transport.ID `json:"members"`
+	Primary  bool           `json:"primary"`
+	Rejoined []transport.ID `json:"rejoined,omitempty"`
+}
+
+// Counters are the replica's protocol totals.
+type Counters struct {
+	Commits        int64 `json:"commits"`
+	Aborts         int64 `json:"aborts"`
+	ReadOnly       int64 `json:"read_only"`
+	LeaseRequests  int64 `json:"lease_requests"`
+	LeaseReuses    int64 `json:"lease_reuses"`
+	LeaseFrees     int64 `json:"lease_frees"`
+	LeaseDeadlocks int64 `json:"lease_deadlocks"`
+	Batches        int64 `json:"batches"`
+	BatchedTxns    int64 `json:"batched_txns"`
+}
+
+// StoreInfo summarizes the local multi-version store.
+type StoreInfo struct {
+	Boxes    int   `json:"boxes"`
+	Restores int64 `json:"restores"`
+}
+
+func debugView(reg *Registry) DebugView {
+	v := DebugView{Replicas: []DebugReplica{}}
+	for _, e := range reg.snapshot() {
+		r := e.get()
+		if r == nil {
+			continue
+		}
+		s := r.Stats()
+		view := r.GCS().CurrentView()
+		v.Replicas = append(v.Replicas, DebugReplica{
+			Name:      e.name,
+			ID:        r.ID(),
+			InPrimary: r.InPrimary(),
+			View: ViewInfo{
+				ID:       view.ID,
+				Members:  view.Members,
+				Primary:  view.Primary,
+				Rejoined: view.Rejoined,
+			},
+			Counters: Counters{
+				Commits:        s.Commits,
+				Aborts:         s.Aborts,
+				ReadOnly:       s.ReadOnly,
+				LeaseRequests:  s.Lease.Requested,
+				LeaseReuses:    s.Lease.Reused,
+				LeaseFrees:     s.Lease.Freed,
+				LeaseDeadlocks: s.Lease.Deadlocks,
+				Batches:        s.Batch.Batches,
+				BatchedTxns:    s.Batch.BatchedTxns,
+			},
+			Queues: s.Queues,
+			Stages: map[string]HistSummary{
+				"execution":     summarize(s.Stages.Execution),
+				"lease_wait":    summarize(s.Stages.LeaseWait),
+				"certification": summarize(s.Stages.Certification),
+				"coalescer":     summarize(s.Stages.Coalescer),
+				"urb":           summarize(s.Stages.URB),
+				"apply":         summarize(s.Stages.Apply),
+			},
+			Commit: summarize(s.CommitLatency),
+			Lease:  r.LeaseManager().Debug(),
+			Store: StoreInfo{
+				Boxes:    len(r.Store().Snapshot().Boxes),
+				Restores: r.Store().Restores(),
+			},
+		})
+	}
+	return v
+}

@@ -1,13 +1,12 @@
 package sim
 
 import (
-	"fmt"
 	"os"
 	"strconv"
 	"strings"
-	"sync"
 	"testing"
-	"time"
+
+	"github.com/alcstm/alc/internal/trace"
 )
 
 // TestDebugSeed replays one seed (env ALC_DEBUG_SEED) until the checker
@@ -24,21 +23,8 @@ func TestDebugSeed(t *testing.T) {
 		t.Fatal(err)
 	}
 	for attempt := 0; attempt < 20; attempt++ {
-		var (
-			mu    sync.Mutex
-			trace []string
-			start = time.Now()
-		)
-		res := Run(Config{Seed: seed, LeaseTrace: func(format string, args ...any) {
-			line := fmt.Sprintf("%9.3fms %s",
-				float64(time.Since(start).Microseconds())/1000, fmt.Sprintf(format, args...))
-			mu.Lock()
-			trace = append(trace, line)
-			if len(trace) > 8000 {
-				trace = trace[len(trace)-8000:]
-			}
-			mu.Unlock()
-		}})
+		tracer := trace.New(8192)
+		res := Run(Config{Seed: seed, Tracer: tracer})
 		if res.OK() {
 			continue
 		}
@@ -54,11 +40,9 @@ func TestDebugSeed(t *testing.T) {
 			}
 			break
 		}
-		mu.Lock()
-		for _, line := range trace {
-			t.Log(line)
+		for _, e := range tracer.Events() {
+			t.Log(e.Format(tracer.Start()))
 		}
-		mu.Unlock()
 		t.FailNow()
 	}
 	t.Log("no failure in 20 attempts")

@@ -15,6 +15,7 @@ import (
 	"github.com/alcstm/alc/internal/memnet"
 	"github.com/alcstm/alc/internal/randseed"
 	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/trace"
 )
 
 // Config parametrizes one simulation run. Only Seed is required.
@@ -34,10 +35,12 @@ type Config struct {
 	// Logf, when non-nil, receives verbose event tracing (schedule, failure
 	// events, phase transitions) — the cmd/alc-sim replay surface.
 	Logf func(format string, args ...any)
-	// LeaseTrace, when non-nil, receives lease-manager state-transition lines
-	// from every replica (see lease.Config.Trace). Diagnostics for debugging
-	// failing seeds; the lines interleave across replicas in real-time order.
-	LeaseTrace func(format string, args ...any)
+	// Tracer, when non-nil, receives every replica's protocol events
+	// (transaction lifecycle, lease-manager transitions) in one shared ring.
+	// When nil, Run creates a private tracer — the history recorder always
+	// rides the unified trace stream. Diagnostics for debugging failing
+	// seeds; events interleave across replicas in emission order.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -115,6 +118,11 @@ func Run(cfg Config) *Result {
 
 	w := newWorkload(sched, cfg.Threads)
 	recorder := history.NewRecorder()
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = trace.New(trace.DefaultCapacity)
+	}
+	tracer.Attach(recorder)
 
 	c, err := cluster.New(cluster.Config{
 		N: cfg.Replicas,
@@ -124,8 +132,8 @@ func Run(cfg Config) *Result {
 			// the witness.
 			GCEvery:    -1,
 			MaxRetries: cfg.MaxRetries,
-			Observer:   recorder,
-			Lease:      lease.Config{Trace: cfg.LeaseTrace},
+			Tracer:     tracer,
+			Lease:      lease.Config{Tracer: tracer},
 		},
 		Net: memnet.Config{
 			Latency: 200 * time.Microsecond,

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindLease, Msg: "ignored"})
+	tr.Emitf(1, KindLease, 0, "ignored %d", 1)
+	tr.Attach(sinkFunc(func(Event) { t.Fatal("sink on nil tracer") }))
+	if tr.Events() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer should report empty")
+	}
+	if !tr.Start().IsZero() {
+		t.Fatal("nil tracer Start should be zero")
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) TraceEvent(e Event) { f(e) }
+
+func TestEmitAssignsSeqAndTime(t *testing.T) {
+	tr := New(16)
+	before := time.Now()
+	tr.Emit(Event{Replica: 2, Kind: KindTxnInvoked, Txn: 7, Msg: "a"})
+	tr.Emit(Event{Replica: 2, Kind: KindTxnCommitted, Txn: 7, Msg: "b"})
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("seqs = %d,%d want 1,2", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].At.Before(before) || evs[0].At.After(time.Now()) {
+		t.Fatalf("timestamp %v not assigned at emit time", evs[0].At)
+	}
+	if evs[0].Msg != "a" || evs[1].Msg != "b" || evs[1].Txn != 7 {
+		t.Fatalf("event contents lost: %+v", evs)
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 20; i++ {
+		tr.Emitf(0, KindLease, 0, "e%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring holds %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("e%d", 12+i); ev.Msg != want {
+			t.Fatalf("event %d = %q, want %q", i, ev.Msg, want)
+		}
+	}
+	if tr.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", tr.Len())
+	}
+}
+
+func TestSinkSeesEveryEvent(t *testing.T) {
+	tr := New(4) // smaller than the emit count: sink must not miss wrapped events
+	var mu sync.Mutex
+	var seen []uint64
+	tr.Attach(sinkFunc(func(e Event) {
+		mu.Lock()
+		seen = append(seen, e.Seq)
+		mu.Unlock()
+	}))
+	for i := 0; i < 32; i++ {
+		tr.Emit(Event{Kind: KindTxnCommitted})
+	}
+	if len(seen) != 32 {
+		t.Fatalf("sink saw %d events, want 32", len(seen))
+	}
+}
+
+func TestConcurrentEmitAndEvents(t *testing.T) {
+	tr := New(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Emitf(0, KindLease, uint64(g*1000+i), "g%d", g)
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		evs := tr.Events()
+		for j := 1; j < len(evs); j++ {
+			if evs[j].Seq <= evs[j-1].Seq {
+				t.Fatalf("events not strictly Seq-ordered at %d", j)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFormat(t *testing.T) {
+	tr := New(4)
+	tr.Emitf(3, KindLease, 42, "enabled req=%d", 9)
+	ev := tr.Events()[0]
+	line := ev.Format(tr.Start())
+	for _, want := range []string{"[r3]", "lease", "txn=42", "enabled req=9"} {
+		if !contains(line, want) {
+			t.Fatalf("Format %q missing %q", line, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestKindString(t *testing.T) {
+	if KindTxnCommitted.String() != "txn-committed" || KindLease.String() != "lease" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatalf("unknown kind = %q", Kind(200).String())
+	}
+}

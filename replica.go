@@ -155,6 +155,14 @@ type Stats struct {
 	// Batch describes the group-commit coalescer and the parallel apply
 	// stage (ALC).
 	Batch core.BatchStats
+	// Stages decomposes the update-commit path into per-stage latency
+	// histograms: execution, lease wait, certification, coalescer residency,
+	// URB broadcast-to-delivery, and apply.
+	Stages core.StageStats
+	// Queues samples the instantaneous depths of the commit pipeline's
+	// queues (coalescer backlog, blocked lease waiters, apply backlog, and
+	// the group-communication endpoint's internal queues).
+	Queues core.QueueStats
 }
 
 // AbortRate returns Aborts / (Aborts + Commits).
@@ -178,5 +186,7 @@ func statsFrom(s core.Stats) Stats {
 		RetriesPerTxn: s.RetriesPerTxn,
 		CommitLatency: s.CommitLatency,
 		Batch:         s.Batch,
+		Stages:        s.Stages,
+		Queues:        s.Queues,
 	}
 }
