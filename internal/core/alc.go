@@ -245,12 +245,13 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			txn.Abort()
 			return ErrEjected
 		}
-		// Conflicts is Validate plus attribution: non-empty means the
-		// read-set is stale (abort), and the conflicting head writers say
-		// whether a remote transaction snuck past a held lease.
-		conflicts := r.store.Conflicts(txn.Snapshot(), rs)
+		// ValidateConflicts is Validate plus attribution in one scan:
+		// invalid means the read-set is stale (abort), and the conflicting
+		// head writers say whether a remote transaction snuck past a held
+		// lease.
+		valid, conflicts := r.store.ValidateConflicts(txn.Snapshot(), rs)
 		r.stageCert.Observe(time.Since(certStart))
-		if len(conflicts) > 0 {
+		if !valid {
 			r.inflight.release(wsCls)
 			txn.Abort()
 			r.nAborts.Inc()

@@ -130,10 +130,10 @@ func (c *Config) fillDefaults() {
 // fields are immutable values: safe to retain and read while the replica
 // keeps committing.
 type Stats struct {
-	Commits  int64
-	Aborts   int64 // certification/validation failures (before retry)
-	ReadOnly int64
-	Lease    lease.Stats
+	Commits       int64
+	Aborts        int64 // certification/validation failures (before retry)
+	ReadOnly      int64
+	Lease         lease.Stats
 	RetriesPerTxn metrics.IntDistSnapshot // aborts suffered per committed txn
 	// CommitLatency is the end-to-end update-transaction latency: from the
 	// start of the FIRST execution attempt to the durable commit, re-executions
@@ -143,6 +143,9 @@ type Stats struct {
 	Batch         BatchStats
 	Stages        StageStats
 	Queues        QueueStats
+	// STM is the local store's commit-pipeline counters: applied write-sets,
+	// commit-stripe contention, clock-publication waits, GC work.
+	STM stm.Stats
 }
 
 // StageStats decomposes the update-commit path into its pipeline stages, one
@@ -172,7 +175,7 @@ type StageStats struct {
 	// the paper's single URB commit step, as locally observable.
 	URB metrics.HistogramSnapshot
 	// Apply is the write-set application: one observation per delivered
-	// batch (local and remote), under the store's commit lock.
+	// batch (local and remote), through the store's striped commit pipeline.
 	Apply metrics.HistogramSnapshot
 }
 
@@ -370,6 +373,7 @@ func (r *Replica) Stats() Stats {
 	s.Queues.CoalescerPending = r.qCoalescer.Value()
 	s.Queues.LeaseWaiters = s.Lease.Waiting
 	s.Queues.GCS = r.gcsEP.QueueStats()
+	s.STM = r.store.Stats()
 	return s
 }
 

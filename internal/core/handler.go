@@ -151,7 +151,7 @@ func (r *Replica) enqueueApply(from transport.ID, entries []applyWSEntry, fromBa
 }
 
 // applyEntries installs a delivered batch under one acquisition of the
-// store's commit lock and resolves the local waiters it carries.
+// union of its commit stripes and resolves the local waiters it carries.
 func (r *Replica) applyEntries(entries []applyWSEntry, fromBatch bool) {
 	applyStart := time.Now()
 	defer func() { r.stageApply.Observe(time.Since(applyStart)) }()

@@ -192,6 +192,16 @@ func writeMetrics(w io.Writer, reg *Registry) {
 		func(s repSample) int64 { return s.stats.Batch.BatchedTxns })
 	counter("alc_apply_tasks_total", "Apply-stage executions (batches).",
 		func(s repSample) int64 { return s.stats.Batch.ApplyTasks })
+	counter("alc_stm_applied_total", "Write-sets committed into the local store (local + remote).",
+		func(s repSample) int64 { return s.stats.STM.Applied })
+	counter("alc_stm_stripe_contention_total", "Commit-stripe lock acquisitions that had to block.",
+		func(s repSample) int64 { return s.stats.STM.StripeContention })
+	counter("alc_stm_clock_waits_total", "Commits that waited their turn to publish the commit clock.",
+		func(s repSample) int64 { return s.stats.STM.ClockWaits })
+	counter("alc_stm_gc_runs_total", "Store GC invocations.",
+		func(s repSample) int64 { return s.stats.STM.GCRuns })
+	counter("alc_stm_gc_pruned_total", "Versions discarded by store GC.",
+		func(s repSample) int64 { return s.stats.STM.GCPruned })
 
 	fmt.Fprintf(w, "# HELP alc_in_primary Whether the replica is in the primary component.\n# TYPE alc_in_primary gauge\n")
 	for _, s := range samples {
@@ -221,6 +231,7 @@ func writeMetrics(w io.Writer, reg *Registry) {
 			{"gcs_urb_retained", int64(q.GCS.URBRetained)},
 			{"gcs_seq_queue", int64(q.GCS.SeqQueue)},
 			{"gcs_dispatch", int64(q.GCS.Dispatch)},
+			{"stm_active_txns", int64(s.stats.STM.ActiveTxns)},
 		}
 		for _, d := range depths {
 			fmt.Fprintf(w, "alc_queue_depth{replica=%q,queue=%q} %d\n", s.name, d.queue, d.v)
@@ -353,10 +364,17 @@ type Counters struct {
 	BatchedTxns    int64 `json:"batched_txns"`
 }
 
-// StoreInfo summarizes the local multi-version store.
+// StoreInfo summarizes the local multi-version store and its commit
+// pipeline.
 type StoreInfo struct {
-	Boxes    int   `json:"boxes"`
-	Restores int64 `json:"restores"`
+	Boxes            int   `json:"boxes"`
+	Restores         int64 `json:"restores"`
+	ActiveTxns       int   `json:"active_txns"`
+	Applied          int64 `json:"applied"`
+	StripeContention int64 `json:"stripe_contention"`
+	ClockWaits       int64 `json:"clock_waits"`
+	GCRuns           int64 `json:"gc_runs"`
+	GCPruned         int64 `json:"gc_pruned"`
 }
 
 func debugView(reg *Registry) DebugView {
@@ -400,9 +418,18 @@ func debugView(reg *Registry) DebugView {
 			},
 			Commit: summarize(s.CommitLatency),
 			Lease:  r.LeaseManager().Debug(),
+			// STM counters come from the Stats() snapshot: a scrape costs
+			// a few atomic loads, never the store-wide snapshot barrier the
+			// old len(Snapshot().Boxes) took.
 			Store: StoreInfo{
-				Boxes:    len(r.Store().Snapshot().Boxes),
-				Restores: r.Store().Restores(),
+				Boxes:            s.STM.Boxes,
+				Restores:         r.Store().Restores(),
+				ActiveTxns:       s.STM.ActiveTxns,
+				Applied:          s.STM.Applied,
+				StripeContention: s.STM.StripeContention,
+				ClockWaits:       s.STM.ClockWaits,
+				GCRuns:           s.STM.GCRuns,
+				GCPruned:         s.STM.GCPruned,
 			},
 		})
 	}

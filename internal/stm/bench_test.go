@@ -1,8 +1,12 @@
 package stm
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
+
+	"github.com/alcstm/alc/internal/transport"
 )
 
 // Microbenchmarks for the local STM substrate: the costs that bound every
@@ -118,6 +122,106 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 		dst.Restore(snap)
 	}
 	b.ReportMetric(4096, "boxes")
+}
+
+// BenchmarkStoreCommitDisjoint measures the store's commit scalability in
+// the regime the ALC fast path produces: many committers, disjoint
+// write-sets. Each parallel worker read-modify-writes its own private box, so
+// no transaction ever conflicts; with a fine-grained commit pipeline the
+// throughput should scale with GOMAXPROCS (sweep with -cpu=1,2,4,8).
+func BenchmarkStoreCommitDisjoint(b *testing.B) {
+	s := NewStore()
+	const maxWorkers = 128
+	for i := 0; i < maxWorkers; i++ {
+		if _, err := s.CreateBox(fmt.Sprintf("d%03d", i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1) - 1
+		box := fmt.Sprintf("d%03d", w%maxWorkers)
+		seq := uint64(0)
+		for pb.Next() {
+			tx := s.Begin(false)
+			v, err := tx.Read(box)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = tx.Write(box, v.(int)+1)
+			seq++
+			if err := tx.Commit(TxnID{Replica: transport.ID(1 + w), Seq: seq}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreCommitContended is the guard-rail companion: every worker
+// read-modify-writes the SAME box, so all commits conflict and serialize on
+// one lock stripe. Conflicted attempts retry; the metric of interest is that
+// per-commit cost does not regress versus the global-commit-lock store.
+func BenchmarkStoreCommitContended(b *testing.B) {
+	s := NewStore()
+	if _, err := s.CreateBox("hot", 0); err != nil {
+		b.Fatal(err)
+	}
+	var worker, retries atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		seq := uint64(0)
+		for pb.Next() {
+			for {
+				tx := s.Begin(false)
+				v, err := tx.Read("hot")
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = tx.Write("hot", v.(int)+1)
+				seq++
+				err = tx.Commit(TxnID{Replica: transport.ID(w), Seq: seq})
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrConflict) {
+					b.Fatal(err)
+				}
+				retries.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(retries.Load())/float64(b.N), "retries/commit")
+	}
+}
+
+// BenchmarkStoreApplyDisjointBatches measures the remote-apply path under
+// parallelism: concurrent ApplyWriteSets calls over disjoint key ranges, the
+// store-side shape of PR1's parallel apply stage.
+func BenchmarkStoreApplyDisjointBatches(b *testing.B) {
+	s := NewStore()
+	const perBatch = 8
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		batch := make([]TxnWriteSet, perBatch)
+		seq := uint64(0)
+		for pb.Next() {
+			for i := range batch {
+				seq++
+				batch[i] = TxnWriteSet{
+					Writer: TxnID{Replica: transport.ID(w), Seq: seq},
+					WS:     WriteSet{{Box: fmt.Sprintf("a%03d-%d", w, i), Value: int(seq)}},
+				}
+			}
+			s.ApplyWriteSets(batch)
+		}
+	})
+	b.ReportMetric(perBatch, "ws/batch")
 }
 
 func BenchmarkGC(b *testing.B) {

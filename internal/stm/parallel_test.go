@@ -1,0 +1,496 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// Tests for the fine-grained commit pipeline: these run many committers
+// concurrently and check the invariants the old global commit lock gave for
+// free — no lost updates, monotone per-box histories, snapshot consistency,
+// and a commit clock that counts exactly the committed write-sets.
+
+// TestParallelDisjointCommits runs committers over disjoint boxes and checks
+// every commit landed: each box ends at its committer's increment count and
+// the clock advanced once per commit.
+func TestParallelDisjointCommits(t *testing.T) {
+	s := NewStore()
+	const workers = 16
+	const perWorker = 200
+	for w := 0; w < workers; w++ {
+		if _, err := s.CreateBox(fmt.Sprintf("d%02d", w), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := s.CommitTimestamp()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			box := fmt.Sprintf("d%02d", w)
+			for i := 0; i < perWorker; i++ {
+				tx := s.Begin(false)
+				v, err := tx.Read(box)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Write(box, v.(int)+1); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Commit(TxnID{Replica: transport.ID(w + 1), Seq: uint64(i + 1)}); err != nil {
+					t.Errorf("disjoint commit conflicted: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := s.CommitTimestamp()-start, int64(workers*perWorker); got != want {
+		t.Fatalf("clock advanced %d, want %d", got, want)
+	}
+	for w := 0; w < workers; w++ {
+		tx := s.Begin(true)
+		v, err := tx.Read(fmt.Sprintf("d%02d", w))
+		tx.Abort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != perWorker {
+			t.Fatalf("box d%02d = %d, want %d", w, v, perWorker)
+		}
+	}
+}
+
+// TestParallelConflictingCommits hammers a single box from many goroutines
+// with retry-on-conflict loops: the final value must equal the number of
+// successful commits (no lost updates), and the per-box writer history must
+// contain every successful writer exactly once.
+func TestParallelConflictingCommits(t *testing.T) {
+	s := NewStore()
+	if _, err := s.CreateBox("hot", 0); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 100
+	var commits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for {
+					tx := s.Begin(false)
+					v, err := tx.Read("hot")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					_ = tx.Write("hot", v.(int)+1)
+					err = tx.Commit(TxnID{Replica: transport.ID(w + 1), Seq: uint64(i + 1)})
+					if err == nil {
+						commits.Add(1)
+						break
+					}
+					if !errors.Is(err, ErrConflict) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	tx := s.Begin(true)
+	v, err := tx.Read("hot")
+	tx.Abort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(v.(int)) != commits.Load() {
+		t.Fatalf("hot = %d, want %d successful commits (lost update)", v, commits.Load())
+	}
+	if int64(workers*perWorker) != commits.Load() {
+		t.Fatalf("commits = %d, want %d", commits.Load(), workers*perWorker)
+	}
+	writers := s.VersionWriters("hot")
+	seen := make(map[TxnID]bool, len(writers))
+	for _, w := range writers {
+		if !w.IsZero() && seen[w] {
+			t.Fatalf("writer %v appears twice in history", w)
+		}
+		seen[w] = true
+	}
+}
+
+// TestParallelSnapshotConsistency maintains the invariant x == y under
+// concurrent read-modify-write transactions of {x,y} while readers assert
+// that every snapshot they observe satisfies it. A reader seeing x != y
+// would mean a half-installed commit became visible.
+func TestParallelSnapshotConsistency(t *testing.T) {
+	s := NewStore()
+	for _, id := range []string{"x", "y"} {
+		if _, err := s.CreateBox(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writers: increment x and y together, retrying conflicts.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seq := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := s.Begin(false)
+				xv, err := tx.Read("x")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				yv, err := tx.Read("y")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = tx.Write("x", xv.(int)+1)
+				_ = tx.Write("y", yv.(int)+1)
+				seq++
+				if err := tx.Commit(TxnID{Replica: transport.ID(w + 1), Seq: seq}); err != nil && !errors.Is(err, ErrConflict) {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: every snapshot must have x == y.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				tx := s.Begin(true)
+				xv, err := tx.Read("x")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				yv, err := tx.Read("y")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tx.Abort()
+				if xv.(int) != yv.(int) {
+					t.Errorf("torn snapshot: x=%d y=%d", xv, yv)
+					return
+				}
+			}
+		}()
+	}
+	// Let readers finish, then stop writers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; i < 4; i++ {
+		runtime.Gosched()
+	}
+	close(stop)
+	<-done
+}
+
+// TestSnapshotDuringParallelCommits takes full store snapshots while
+// committers are running and checks each snapshot is internally consistent:
+// the x/y pair invariant holds inside the captured state too.
+func TestSnapshotDuringParallelCommits(t *testing.T) {
+	s := NewStore()
+	for _, id := range []string{"x", "y"} {
+		if _, err := s.CreateBox(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seq := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := s.Begin(false)
+				xv, _ := tx.Read("x")
+				yv, _ := tx.Read("y")
+				_ = tx.Write("x", xv.(int)+1)
+				_ = tx.Write("y", yv.(int)+1)
+				seq++
+				if err := tx.Commit(TxnID{Replica: transport.ID(w + 1), Seq: seq}); err != nil && !errors.Is(err, ErrConflict) {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		snap := s.Snapshot()
+		vals := make(map[string]int, 2)
+		for _, bs := range snap.Boxes {
+			vals[bs.Box] = bs.Value.(int)
+		}
+		if vals["x"] != vals["y"] {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot %d torn: x=%d y=%d", i, vals["x"], vals["y"])
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// A snapshot restored into a fresh store must round-trip clock and state.
+	snap := s.Snapshot()
+	dst := NewStore()
+	dst.Restore(snap)
+	if dst.CommitTimestamp() != snap.Clock {
+		t.Fatalf("restored clock %d, want %d", dst.CommitTimestamp(), snap.Clock)
+	}
+	// And the restored store must accept new commits with ascending stamps.
+	ts := dst.ApplyWriteSet(TxnID{Replica: 9, Seq: 1}, WriteSet{{Box: "x", Value: -1}})
+	if ts != snap.Clock+1 {
+		t.Fatalf("post-restore commit ts %d, want %d", ts, snap.Clock+1)
+	}
+}
+
+// TestValidateConflicts checks the merged validate+diagnose call: valid
+// read-sets return (true, nil); invalidated ones return every stale entry
+// with the writer that overwrote it.
+func TestValidateConflicts(t *testing.T) {
+	s := NewStore()
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := s.CreateBox(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.CommitTimestamp()
+	rs := ReadSet{{Box: "a"}, {Box: "b"}, {Box: "c"}, {Box: "missing"}}
+
+	ok, conflicts := s.ValidateConflicts(snap, rs)
+	if !ok || conflicts != nil {
+		t.Fatalf("fresh read-set: got ok=%v conflicts=%v", ok, conflicts)
+	}
+
+	w1 := TxnID{Replica: 1, Seq: 1}
+	w2 := TxnID{Replica: 2, Seq: 7}
+	s.ApplyWriteSet(w1, WriteSet{{Box: "a", Value: 1}})
+	s.ApplyWriteSet(w2, WriteSet{{Box: "c", Value: 2}})
+
+	ok, conflicts = s.ValidateConflicts(snap, rs)
+	if ok {
+		t.Fatal("stale read-set validated")
+	}
+	if len(conflicts) != 2 {
+		t.Fatalf("conflicts = %v, want entries for a and c", conflicts)
+	}
+	got := map[string]TxnID{}
+	for _, c := range conflicts {
+		got[c.Box] = c.Writer
+	}
+	if got["a"] != w1 || got["c"] != w2 {
+		t.Fatalf("conflict writers = %v, want a->%v c->%v", got, w1, w2)
+	}
+	// Must agree with the separate calls it replaces.
+	if s.Validate(snap, rs) {
+		t.Fatal("Validate disagrees with ValidateConflicts")
+	}
+	if lc := s.Conflicts(snap, rs); len(lc) != 2 {
+		t.Fatalf("Conflicts() = %v, want 2 entries", lc)
+	}
+}
+
+// TestStoreStats sanity-checks the commit-pipeline counters.
+func TestStoreStats(t *testing.T) {
+	s := NewStore()
+	if _, err := s.CreateBox("x", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.ApplyWriteSet(TxnID{Replica: 1, Seq: uint64(i + 1)}, WriteSet{{Box: "x", Value: i}})
+	}
+	s.ApplyWriteSets([]TxnWriteSet{
+		{Writer: TxnID{Replica: 2, Seq: 1}, WS: WriteSet{{Box: "x", Value: 10}}},
+		{Writer: TxnID{Replica: 2, Seq: 2}, WS: WriteSet{{Box: "y", Value: 11}}},
+	})
+	s.GC()
+
+	st := s.Stats()
+	if st.Applied != 7 {
+		t.Fatalf("Applied = %d, want 7", st.Applied)
+	}
+	if st.GCRuns != 1 {
+		t.Fatalf("GCRuns = %d, want 1", st.GCRuns)
+	}
+	if st.GCPruned == 0 {
+		t.Fatal("GCPruned = 0, want > 0 (history of x had 6 dead versions)")
+	}
+	if st.Boxes != 2 {
+		t.Fatalf("Boxes = %d, want 2", st.Boxes)
+	}
+	tx := s.Begin(true)
+	if got := s.Stats().ActiveTxns; got != 1 {
+		t.Fatalf("ActiveTxns = %d, want 1", got)
+	}
+	tx.Abort()
+	if got := s.Stats().ActiveTxns; got != 0 {
+		t.Fatalf("ActiveTxns after abort = %d, want 0", got)
+	}
+}
+
+// TestParallelCommitStress is the CI stress companion (run with -race under
+// the stm-stress job's GOMAXPROCS matrix): a mixed workload of disjoint
+// committers, overlapping committers, batch appliers, readers, snapshots and
+// GC, all concurrent, followed by full-state accounting.
+func TestParallelCommitStress(t *testing.T) {
+	s := NewStore()
+	const (
+		workers     = 12
+		perWorker   = 150
+		sharedBoxes = 4
+	)
+	for i := 0; i < sharedBoxes; i++ {
+		if _, err := s.CreateBox(fmt.Sprintf("shared%d", i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := s.CommitTimestamp()
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+
+	// Disjoint committers: private box each.
+	for w := 0; w < workers/2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			box := fmt.Sprintf("priv%02d", w)
+			for i := 0; i < perWorker; i++ {
+				tx := s.Begin(false)
+				n := 0
+				if v, err := tx.Read(box); err == nil {
+					n = v.(int)
+				}
+				_ = tx.Write(box, n+1)
+				if err := tx.Commit(TxnID{Replica: transport.ID(w + 1), Seq: uint64(i + 1)}); err != nil {
+					t.Errorf("private-box commit failed: %v", err)
+					return
+				}
+				committed.Add(1)
+			}
+		}(w)
+	}
+	// Overlapping committers: random-ish shared box, retry on conflict.
+	for w := workers / 2; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				box := fmt.Sprintf("shared%d", (w+i)%sharedBoxes)
+				for {
+					tx := s.Begin(false)
+					v, err := tx.Read(box)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					_ = tx.Write(box, v.(int)+1)
+					err = tx.Commit(TxnID{Replica: transport.ID(w + 1), Seq: uint64(i + 1)})
+					if err == nil {
+						committed.Add(1)
+						break
+					}
+					if !errors.Is(err, ErrConflict) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Batch applier: the remote-apply path, disjoint from everything above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perWorker; i++ {
+			batch := []TxnWriteSet{
+				{Writer: TxnID{Replica: 99, Seq: uint64(2*i + 1)}, WS: WriteSet{{Box: "remote0", Value: i}}},
+				{Writer: TxnID{Replica: 99, Seq: uint64(2*i + 2)}, WS: WriteSet{{Box: "remote1", Value: i}}},
+			}
+			s.ApplyWriteSets(batch)
+			committed.Add(2)
+		}
+	}()
+	// Background churn: readers, snapshots, GC.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := s.Begin(true)
+			for i := 0; i < sharedBoxes; i++ {
+				if _, err := tx.Read(fmt.Sprintf("shared%d", i)); err != nil {
+					t.Error(err)
+				}
+			}
+			tx.Abort()
+			s.GC()
+			_ = s.Snapshot()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+
+	if got, want := s.CommitTimestamp()-start, committed.Load(); got != want {
+		t.Fatalf("clock advanced %d, want %d (every commit exactly one tick)", got, want)
+	}
+	// Shared-box totals: sum of final values == number of shared-box commits.
+	total := 0
+	tx := s.Begin(true)
+	for i := 0; i < sharedBoxes; i++ {
+		v, err := tx.Read(fmt.Sprintf("shared%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += v.(int)
+	}
+	tx.Abort()
+	if want := (workers - workers/2) * perWorker; total != want {
+		t.Fatalf("shared commits accounted = %d, want %d (lost update)", total, want)
+	}
+	st := s.Stats()
+	if st.Applied != committed.Load() {
+		t.Fatalf("Stats.Applied = %d, want %d", st.Applied, committed.Load())
+	}
+}

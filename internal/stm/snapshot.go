@@ -18,21 +18,26 @@ type StoreSnapshot struct {
 }
 
 // Snapshot captures the latest committed value of every box together with
-// the commit clock. The capture is atomic with respect to commits.
+// the commit clock. The capture is atomic with respect to commits: it takes
+// the store-wide barrier (all commit stripes, drained clock) so no
+// half-installed or unpublished commit can appear in the copy.
 func (s *Store) Snapshot() StoreSnapshot {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.barrier()
+	defer s.releaseBarrier()
 
-	s.boxesMu.RLock()
-	boxes := make([]BoxState, 0, len(s.boxes))
-	for id, b := range s.boxes {
-		v := b.head.Load()
-		if v == nil {
-			continue
+	boxes := make([]BoxState, 0, s.NumBoxes())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id, b := range sh.boxes {
+			v := b.head.Load()
+			if v == nil {
+				continue
+			}
+			boxes = append(boxes, BoxState{Box: id, Writer: v.writer, Value: v.value})
 		}
-		boxes = append(boxes, BoxState{Box: id, Writer: v.writer, Value: v.value})
+		sh.mu.RUnlock()
 	}
-	s.boxesMu.RUnlock()
 
 	sort.Slice(boxes, func(i, j int) bool { return boxes[i].Box < boxes[j].Box })
 	return StoreSnapshot{Clock: s.clock.Load(), Boxes: boxes}
@@ -48,19 +53,22 @@ func (s *Store) Snapshot() StoreSnapshot {
 // are no longer complete.
 func (s *Store) Restore(snap StoreSnapshot) {
 	s.restores.Add(1)
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
+	s.barrier()
+	defer s.releaseBarrier()
 
-	boxes := make(map[string]*VBox, len(snap.Boxes))
-	for _, bs := range snap.Boxes {
-		b := &VBox{id: bs.Box}
-		b.head.Store(&version{ts: snap.Clock, writer: bs.Writer, value: bs.Value})
-		boxes[bs.Box] = b
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.boxes = make(map[string]*VBox)
+		sh.mu.Unlock()
 	}
-
-	s.boxesMu.Lock()
-	s.boxes = boxes
-	s.boxesMu.Unlock()
+	for _, bs := range snap.Boxes {
+		b := s.ensureBox(bs.Box)
+		b.head.Store(&version{ts: snap.Clock, writer: bs.Writer, value: bs.Value})
+	}
+	// The barrier guarantees clock == ticket; reset both so post-restore
+	// commits draw tickets continuing from the snapshot's clock.
+	s.ticket.Store(snap.Clock)
 	s.clock.Store(snap.Clock)
 }
 

@@ -1,0 +1,42 @@
+package stm
+
+// Stats is a point-in-time snapshot of the store's commit-pipeline counters.
+// All counters are cumulative since store creation; gauges (Boxes,
+// ActiveTxns) are instantaneous.
+type Stats struct {
+	// Applied counts committed write-sets: local commits (ValidateAndApply)
+	// plus remotely applied write-sets (ApplyWriteSet/ApplyWriteSets
+	// entries).
+	Applied int64
+	// StripeContention counts commit-stripe lock acquisitions that found the
+	// stripe already held and had to block. Zero under perfectly disjoint
+	// write-sets; rises with conflict-class overlap or stripe hash
+	// collisions.
+	StripeContention int64
+	// ClockWaits counts commits whose first clock-publish CAS failed, i.e.
+	// that finished installing before an earlier-ticketed commit published.
+	ClockWaits int64
+	// GCRuns and GCPruned count GC invocations and the total versions they
+	// discarded.
+	GCRuns   int64
+	GCPruned int64
+	// Boxes is the number of boxes in the store; ActiveTxns the number of
+	// in-flight transactions.
+	Boxes      int
+	ActiveTxns int
+}
+
+// Stats returns the store's current counters. The reads are individually
+// atomic but not mutually: the snapshot is approximate under concurrent
+// commits, which is fine for its monitoring purpose.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Applied:          s.applied.Load(),
+		StripeContention: s.stripeContention.Load(),
+		ClockWaits:       s.clockWaits.Load(),
+		GCRuns:           s.gcRuns.Load(),
+		GCPruned:         s.gcPruned.Load(),
+		Boxes:            s.NumBoxes(),
+		ActiveTxns:       s.ActiveTxns(),
+	}
+}

@@ -25,11 +25,42 @@
 // applied in different orders — are identical at every replica for the
 // versions a transaction observed, and are what the certification protocols
 // exchange to validate read-sets deterministically cluster-wide.
+//
+// # Commit concurrency
+//
+// Early versions of this store mirrored JVSTM's global commit lock: one
+// mutex serialized every ValidateAndApply and ApplyWriteSet(s), which made
+// the replica-local store the throughput ceiling of the whole replicated
+// system (with good lease affinity, almost every commit runs the local-STM
+// path). The lock is gone; commits now coordinate through three mechanisms
+// (DESIGN.md decision 12):
+//
+//   - Striped commit locks. Box IDs hash onto a fixed array of lock stripes.
+//     A commit acquires the stripes of its write-set exclusively and the
+//     stripes of its read-set shared, all in ascending index order (so any
+//     mix of committers is deadlock-free), validates, and installs its
+//     versions. Disjoint write-sets touch disjoint stripes and truly commit
+//     in parallel; conflicting write-sets serialize on their shared stripe
+//     exactly as they did on the global lock.
+//
+//   - A ticketed commit clock. A committer draws a unique commit timestamp
+//     (ticket) while holding its stripes, installs its versions tagged with
+//     it, and then publishes the clock in ticket order (CAS from ts-1 to
+//     ts). Readers take snapshots from the published clock only, so a
+//     snapshot S is never visible until every commit with timestamp <= S has
+//     fully installed its versions — the same snapshot-consistency guarantee
+//     the global lock provided, without serializing installation.
+//
+//   - A striped box index and a sharded active-snapshot tracker, so the
+//     per-read box lookup and the per-transaction begin/finish accounting
+//     scale with committers instead of funnelling through one RWMutex and
+//     one mutex.
 package stm
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -112,16 +143,53 @@ func (b *VBox) newerThan(snapshot int64) bool {
 	return v != nil && v.ts > snapshot
 }
 
+// Sizing of the store's striped structures. Both are powers of two; the box
+// index and the commit locks deliberately use different bits of the same
+// hash so stripe collisions and shard collisions are uncorrelated.
+const (
+	boxShardCount = 64
+	numStripes    = 256
+	stripeWords   = numStripes / 64
+)
+
+// hashID is FNV-1a over the box ID: the one hash every commit-path lookup
+// shares (box shard, commit stripe).
+func hashID(id string) uint32 {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return h
+}
+
+func stripeIndex(h uint32) int { return int((h >> 8) & (numStripes - 1)) }
+
+// boxShard is one slice of the striped box index.
+type boxShard struct {
+	mu    sync.RWMutex
+	boxes map[string]*VBox
+}
+
+// stripe is one commit lock, padded so neighbouring stripes do not share a
+// cache line (they are, by construction, taken by unrelated committers).
+type stripe struct {
+	sync.RWMutex
+	_ [40]byte
+}
+
 // Store is one replica's transactional heap: the set of versioned boxes plus
 // the commit clock. The zero value is not usable; call NewStore.
 type Store struct {
-	boxesMu sync.RWMutex
-	boxes   map[string]*VBox
+	shards  [boxShardCount]boxShard
+	stripes [numStripes]stripe
 
-	// commitMu serializes all write commits and write-set applications,
-	// mirroring JVSTM's global commit lock.
-	commitMu sync.Mutex
-	clock    atomic.Int64
+	// clock is the published commit timestamp: the newest timestamp whose
+	// commit (and every earlier one) is fully installed. ticket is the
+	// allocator commits draw their timestamps from; clock chases ticket.
+	clock  atomic.Int64
+	ticket atomic.Int64
 
 	// restores counts Restore calls (state transfers). A restored store's
 	// version histories are truncated to the snapshot heads, which
@@ -129,6 +197,21 @@ type Store struct {
 	restores atomic.Int64
 
 	snapshots *snapshotTracker
+
+	// Publication wait state: committers that finished installing but cannot
+	// yet publish (an earlier ticket is still installing) park here instead
+	// of spinning. pubWaiters counts parked-or-parking committers so the
+	// uncontended publish path pays one atomic load, no lock.
+	pubMu      sync.Mutex
+	pubCond    *sync.Cond
+	pubWaiters atomic.Int32
+
+	// Contention/throughput counters (see Stats).
+	applied          atomic.Int64
+	stripeContention atomic.Int64
+	clockWaits       atomic.Int64
+	gcRuns           atomic.Int64
+	gcPruned         atomic.Int64
 }
 
 // Restores returns how many times the store's content was replaced by a
@@ -138,10 +221,12 @@ func (s *Store) Restores() int64 { return s.restores.Load() }
 
 // NewStore creates an empty store with commitTimestamp 0.
 func NewStore() *Store {
-	return &Store{
-		boxes:     make(map[string]*VBox),
-		snapshots: newSnapshotTracker(),
+	s := &Store{snapshots: newSnapshotTracker()}
+	s.pubCond = sync.NewCond(&s.pubMu)
+	for i := range s.shards {
+		s.shards[i].boxes = make(map[string]*VBox)
 	}
+	return s
 }
 
 // CommitTimestamp returns the store's current commit clock.
@@ -152,59 +237,67 @@ func (s *Store) CommitTimestamp() int64 { return s.clock.Load() }
 // processing transactions; boxes written by transactions are created
 // implicitly when their write-sets are applied.
 func (s *Store) CreateBox(id string, initial Value) (*VBox, error) {
-	s.boxesMu.Lock()
-	defer s.boxesMu.Unlock()
-	if _, ok := s.boxes[id]; ok {
+	sh := &s.shards[hashID(id)&(boxShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.boxes[id]; ok {
 		return nil, fmt.Errorf("stm: box %q already exists", id)
 	}
 	b := &VBox{id: id}
 	b.head.Store(&version{ts: s.clock.Load(), value: initial})
-	s.boxes[id] = b
+	sh.boxes[id] = b
 	return b, nil
 }
 
 // Box returns the box with the given ID, if it exists.
 func (s *Store) Box(id string) (*VBox, bool) {
-	s.boxesMu.RLock()
-	defer s.boxesMu.RUnlock()
-	b, ok := s.boxes[id]
+	sh := &s.shards[hashID(id)&(boxShardCount-1)]
+	sh.mu.RLock()
+	b, ok := sh.boxes[id]
+	sh.mu.RUnlock()
 	return b, ok
 }
 
 // ensureBox returns the box with the given ID, creating an empty (no
 // versions) box if absent. Used when applying write-sets that create boxes.
 func (s *Store) ensureBox(id string) *VBox {
-	s.boxesMu.RLock()
-	b, ok := s.boxes[id]
-	s.boxesMu.RUnlock()
+	sh := &s.shards[hashID(id)&(boxShardCount-1)]
+	sh.mu.RLock()
+	b, ok := sh.boxes[id]
+	sh.mu.RUnlock()
 	if ok {
 		return b
 	}
-	s.boxesMu.Lock()
-	defer s.boxesMu.Unlock()
-	if b, ok = s.boxes[id]; ok {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if b, ok = sh.boxes[id]; ok {
 		return b
 	}
 	b = &VBox{id: id}
-	s.boxes[id] = b
+	sh.boxes[id] = b
 	return b
 }
 
 // NumBoxes returns the number of boxes in the store.
 func (s *Store) NumBoxes() int {
-	s.boxesMu.RLock()
-	defer s.boxesMu.RUnlock()
-	return len(s.boxes)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.boxes)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Begin starts a transaction against the current snapshot.
 func (s *Store) Begin(readOnly bool) *Txn {
 	snap := s.clock.Load()
-	s.snapshots.acquire(snap)
 	t := &Txn{
-		store:    s,
-		snapshot: snap,
-		readOnly: readOnly,
+		store:     s,
+		snapshot:  snap,
+		snapShard: s.snapshots.acquire(snap),
+		readOnly:  readOnly,
 	}
 	if !readOnly {
 		t.reads = make(map[string]TxnID)
@@ -213,15 +306,201 @@ func (s *Store) Begin(readOnly bool) *Txn {
 	return t
 }
 
+// --- Fine-grained commit pipeline ---------------------------------------------
+
+// lockSet is the set of commit-lock stripes one commit must hold: a bitmap
+// over the stripe array, with a parallel bitmap marking which stripes are
+// taken exclusively (write-set) rather than shared (read-set validation).
+// Acquisition walks the bitmap in ascending stripe order, which gives every
+// committer the same global lock order — the structure is deadlock-free by
+// construction. The zero value is an empty set; it lives on the caller's
+// stack.
+type lockSet struct {
+	mem  [stripeWords]uint64
+	excl [stripeWords]uint64
+}
+
+func (ls *lockSet) add(i int, exclusive bool) {
+	w, b := i>>6, uint(i&63)
+	ls.mem[w] |= 1 << b
+	if exclusive {
+		ls.excl[w] |= 1 << b
+	}
+}
+
+// addWS marks every write-set stripe exclusive. A commit with an empty
+// write-set still advances the clock, so it takes stripe 0: every ticket
+// draw then happens under at least one stripe lock, which is what lets
+// barrier() (Snapshot, Restore) stop the world by locking all stripes.
+func (ls *lockSet) addWS(ws WriteSet) {
+	if len(ws) == 0 {
+		ls.add(0, true)
+		return
+	}
+	for i := range ws {
+		ls.add(stripeIndex(hashID(ws[i].Box)), true)
+	}
+}
+
+// addRS marks read-set stripes shared; stripes already exclusive stay
+// exclusive.
+func (ls *lockSet) addRS(rs ReadSet) {
+	for i := range rs {
+		ls.add(stripeIndex(hashID(rs[i].Box)), false)
+	}
+}
+
+// lock acquires every stripe in the set in ascending index order. Shared
+// members use RLock, exclusive members Lock; acquisitions that find the
+// stripe held are counted as contention.
+func (s *Store) lock(ls *lockSet) {
+	for w := 0; w < stripeWords; w++ {
+		rem := ls.mem[w]
+		for rem != 0 {
+			b := bits.TrailingZeros64(rem)
+			rem &^= 1 << uint(b)
+			mu := &s.stripes[w<<6|b]
+			if ls.excl[w]&(1<<uint(b)) != 0 {
+				if !mu.TryLock() {
+					s.stripeContention.Add(1)
+					mu.Lock()
+				}
+			} else {
+				if !mu.TryRLock() {
+					s.stripeContention.Add(1)
+					mu.RLock()
+				}
+			}
+		}
+	}
+}
+
+func (s *Store) unlock(ls *lockSet) {
+	for w := 0; w < stripeWords; w++ {
+		rem := ls.mem[w]
+		for rem != 0 {
+			b := bits.TrailingZeros64(rem)
+			rem &^= 1 << uint(b)
+			mu := &s.stripes[w<<6|b]
+			if ls.excl[w]&(1<<uint(b)) != 0 {
+				mu.Unlock()
+			} else {
+				mu.RUnlock()
+			}
+		}
+	}
+}
+
+// install prepends one version per write-set entry, all tagged ts. The
+// caller holds every write-set stripe exclusively, so per-box histories stay
+// newest-first: any two commits writing the same box serialize on its
+// stripe, and tickets are drawn under the stripes, in lock order.
+func (s *Store) install(writer TxnID, ws WriteSet, ts int64) {
+	for _, e := range ws {
+		b := s.ensureBox(e.Box)
+		v := &version{ts: ts, writer: writer, value: e.Value}
+		v.prev.Store(b.head.Load())
+		b.head.Store(v)
+	}
+}
+
+// publishSpin bounds the optimistic retry loop before a blocked publisher
+// parks on the condvar: on a multicore machine the predecessor is typically
+// between releasing its stripes and its own CAS — nanoseconds away — so a
+// short spin catches it; parking immediately would pay a futex round-trip
+// per out-of-order arrival.
+const publishSpin = 128
+
+// publish advances the published clock from `from` to `to`, waiting its turn
+// in ticket order. Tickets are unique, so exactly one committer can perform
+// each transition; a failed CAS only ever means earlier tickets are still
+// installing. Callers publish after releasing their stripes — a predecessor
+// never needs a successor's locks, so the wait cannot deadlock. Blocked
+// publishers park on pubCond rather than spinning: when GOMAXPROCS exceeds
+// the core count, a spinning successor steals exactly the CPU its
+// predecessor needs to finish installing (a convoy that turns microsecond
+// commits into scheduler-quantum commits).
+func (s *Store) publish(from, to int64) {
+	if !s.clock.CompareAndSwap(from, to) {
+		s.clockWaits.Add(1)
+		for i := 0; ; i++ {
+			if s.clock.CompareAndSwap(from, to) {
+				break
+			}
+			if i >= publishSpin {
+				s.publishSlow(from, to)
+				break
+			}
+		}
+	}
+	// Wake parked successors. The load is racy against a successor that is
+	// between its failed CAS and its waiter registration, but registration
+	// happens under pubMu before re-checking the CAS: such a successor will
+	// observe the already-advanced clock and never sleep.
+	if s.pubWaiters.Load() != 0 {
+		s.pubMu.Lock()
+		s.pubMu.Unlock() //nolint:staticcheck // empty section pairs with Wait
+		s.pubCond.Broadcast()
+	}
+}
+
+// publishSlow parks until the predecessor ticket is published, then performs
+// this ticket's transition. The waiter count is incremented under pubMu
+// before the final CAS re-check, so a predecessor that publishes
+// concurrently either sees the waiter (and broadcasts after acquiring pubMu,
+// i.e. after this goroutine is in Wait) or the re-check succeeds and we
+// never sleep.
+func (s *Store) publishSlow(from, to int64) {
+	s.pubMu.Lock()
+	s.pubWaiters.Add(1)
+	for !s.clock.CompareAndSwap(from, to) {
+		s.pubCond.Wait()
+	}
+	s.pubWaiters.Add(-1)
+	s.pubMu.Unlock()
+	s.pubCond.Broadcast()
+}
+
+// barrier locks every commit stripe (ascending, exclusive) and waits out
+// in-flight clock publications, so the caller observes a store with no
+// half-installed or unpublished commit. With all stripes held no new ticket
+// can be drawn (every draw happens under at least one stripe — see addWS);
+// committers that drew a ticket before the barrier hold no stripes while
+// publishing, so waiting for clock to catch up to ticket cannot deadlock.
+func (s *Store) barrier() {
+	for i := range s.stripes {
+		s.stripes[i].Lock()
+	}
+	s.pubMu.Lock()
+	s.pubWaiters.Add(1)
+	for s.clock.Load() != s.ticket.Load() {
+		s.pubCond.Wait()
+	}
+	s.pubWaiters.Add(-1)
+	s.pubMu.Unlock()
+}
+
+func (s *Store) releaseBarrier() {
+	for i := range s.stripes {
+		s.stripes[i].Unlock()
+	}
+}
+
 // ApplyWriteSet atomically installs ws as a new committed version of every
 // box it touches, tagged with the given writer ID, and advances the commit
 // clock by one. It is used both to commit local transactions and to apply
 // the write-sets of remotely executed transactions (§3, extension iii).
 // It returns the new commit timestamp.
 func (s *Store) ApplyWriteSet(writer TxnID, ws WriteSet) int64 {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	return s.applyLocked(writer, ws)
+	var ls lockSet
+	ls.addWS(ws)
+	s.lock(&ls)
+	ts := s.ticket.Add(1)
+	s.install(writer, ws, ts)
+	s.unlock(&ls)
+	s.publish(ts-1, ts)
+	s.applied.Add(1)
+	return ts
 }
 
 // TxnWriteSet pairs a write-set with the transaction that produced it, for
@@ -232,84 +511,70 @@ type TxnWriteSet struct {
 }
 
 // ApplyWriteSets installs a batch of write-sets under a single acquisition
-// of the commit lock, in order; each write-set still gets its own commit
-// timestamp. It returns the timestamp of the last write-set applied (the new
-// commit clock), or the current clock when the batch is empty.
+// of the union of their commit stripes, in order; each write-set still gets
+// its own commit timestamp, and the whole batch becomes visible atomically
+// (the clock jumps over the batch's ticket range in one publication). It
+// returns the timestamp of the last write-set applied (the new commit
+// clock), or the current clock when the batch is empty.
 func (s *Store) ApplyWriteSets(batch []TxnWriteSet) int64 {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	ts := s.clock.Load()
-	for _, t := range batch {
-		ts = s.applyLocked(t.Writer, t.WS)
+	if len(batch) == 0 {
+		return s.clock.Load()
 	}
-	return ts
-}
-
-func (s *Store) applyLocked(writer TxnID, ws WriteSet) int64 {
-	ts := s.clock.Load() + 1
-	for _, e := range ws {
-		b := s.ensureBox(e.Box)
-		v := &version{ts: ts, writer: writer, value: e.Value}
-		v.prev.Store(b.head.Load())
-		b.head.Store(v)
+	var ls lockSet
+	empty := true
+	for i := range batch {
+		for j := range batch[i].WS {
+			ls.add(stripeIndex(hashID(batch[i].WS[j].Box)), true)
+			empty = false
+		}
 	}
-	s.clock.Store(ts)
-	return ts
+	if empty {
+		ls.add(0, true)
+	}
+	s.lock(&ls)
+	last := s.ticket.Add(int64(len(batch)))
+	ts := last - int64(len(batch))
+	first := ts
+	for i := range batch {
+		ts++
+		s.install(batch[i].Writer, batch[i].WS, ts)
+	}
+	s.unlock(&ls)
+	// Intermediate tickets belong to this batch alone, so no other committer
+	// waits on them: publishing first -> last in one step is safe and makes
+	// the batch visible atomically.
+	s.publish(first, last)
+	s.applied.Add(int64(len(batch)))
+	return last
 }
 
 // ValidateAndApply validates rs against the current store state and, if
-// valid, applies ws in the same critical section. It returns ErrConflict
-// without applying anything when validation fails. This is the linearization
-// point of a locally certified commit.
+// valid, applies ws in the same critical section: the write-set stripes are
+// held exclusively and the read-set stripes shared from before validation
+// until the versions are installed, so no conflicting commit can interleave.
+// It returns ErrConflict without applying anything when validation fails.
+// This is the linearization point of a locally certified commit.
 func (s *Store) ValidateAndApply(writer TxnID, snapshot int64, rs ReadSet, ws WriteSet) (int64, error) {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	if !s.validateLocked(snapshot, rs) {
+	var ls lockSet
+	ls.addWS(ws)
+	ls.addRS(rs)
+	s.lock(&ls)
+	if !s.validate(snapshot, rs) {
+		s.unlock(&ls)
 		return 0, ErrConflict
 	}
-	return s.applyLocked(writer, ws), nil
+	ts := s.ticket.Add(1)
+	s.install(writer, ws, ts)
+	s.unlock(&ls)
+	s.publish(ts-1, ts)
+	s.applied.Add(1)
+	return ts, nil
 }
 
-// Validate reports whether a transaction with the given snapshot and read-set
-// would commit successfully right now. The answer may be invalidated by a
-// concurrent commit; use ValidateAndApply for the authoritative check.
-func (s *Store) Validate(snapshot int64, rs ReadSet) bool {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	return s.validateLocked(snapshot, rs)
-}
-
-// ReadConflict describes one invalidated read-set entry: the box whose
-// version history advanced past the reader's snapshot, and the writer of its
-// current head version. The writer identity lets the replication layer
-// attribute a validation failure to a local or a remote transaction (the
-// history checker's ≤1-remote-abort invariant).
-type ReadConflict struct {
-	Box    string
-	Writer TxnID
-}
-
-// Conflicts returns, for every read-set entry invalidated by a commit after
-// the snapshot, the box and the writer of the box's current head version. It
-// is a diagnostic companion to Validate: Validate answers "would this
-// transaction commit", Conflicts answers "who aborted it".
-func (s *Store) Conflicts(snapshot int64, rs ReadSet) []ReadConflict {
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-	var out []ReadConflict
-	for _, r := range rs {
-		b, ok := s.Box(r.Box)
-		if !ok {
-			continue
-		}
-		if b.newerThan(snapshot) {
-			out = append(out, ReadConflict{Box: r.Box, Writer: b.head.Load().writer})
-		}
-	}
-	return out
-}
-
-func (s *Store) validateLocked(snapshot int64, rs ReadSet) bool {
+// validate reports whether no read-set entry has a version newer than
+// snapshot. It takes no locks itself; callers needing atomicity with an
+// installation hold the appropriate stripes (ValidateAndApply).
+func (s *Store) validate(snapshot int64, rs ReadSet) bool {
 	for _, r := range rs {
 		b, ok := s.Box(r.Box)
 		if !ok {
@@ -323,34 +588,96 @@ func (s *Store) validateLocked(snapshot int64, rs ReadSet) bool {
 	return true
 }
 
+// Validate reports whether a transaction with the given snapshot and read-set
+// would commit successfully right now. The scan is lock-free: the answer may
+// be invalidated by a concurrent commit the instant it is produced. Use
+// ValidateAndApply for the authoritative local check; the replication
+// manager's final validation relies on its in-flight table and leases to
+// keep conflicting committers out of this window.
+func (s *Store) Validate(snapshot int64, rs ReadSet) bool {
+	return s.validate(snapshot, rs)
+}
+
+// ReadConflict describes one invalidated read-set entry: the box whose
+// version history advanced past the reader's snapshot, and the writer of its
+// current head version. The writer identity lets the replication layer
+// attribute a validation failure to a local or a remote transaction (the
+// history checker's ≤1-remote-abort invariant).
+type ReadConflict struct {
+	Box    string
+	Writer TxnID
+}
+
+// ValidateConflicts is Validate plus attribution in one scan: it reports
+// whether the read-set is still valid at the snapshot and, when it is not,
+// returns one ReadConflict per invalidated entry. It replaces the
+// Validate-then-Conflicts sequence that used to serialize on the commit lock
+// twice per abort; like Validate, it is lock-free and relies on the caller
+// (in-flight table + leases) to exclude conflicting commits for
+// authoritative use.
+func (s *Store) ValidateConflicts(snapshot int64, rs ReadSet) (bool, []ReadConflict) {
+	var out []ReadConflict
+	for _, r := range rs {
+		b, ok := s.Box(r.Box)
+		if !ok {
+			continue
+		}
+		if b.newerThan(snapshot) {
+			out = append(out, ReadConflict{Box: r.Box, Writer: b.head.Load().writer})
+		}
+	}
+	return len(out) == 0, out
+}
+
+// Conflicts returns, for every read-set entry invalidated by a commit after
+// the snapshot, the box and the writer of the box's current head version. It
+// is a diagnostic companion to Validate: Validate answers "would this
+// transaction commit", Conflicts answers "who aborted it".
+func (s *Store) Conflicts(snapshot int64, rs ReadSet) []ReadConflict {
+	_, out := s.ValidateConflicts(snapshot, rs)
+	return out
+}
+
 // GC prunes box histories: for every box, all versions older than the newest
 // version visible at the oldest active snapshot are discarded. It returns
 // the number of versions pruned.
+//
+// GC never blocks committers: it walks the box index one shard at a time
+// (briefly holding that shard's read lock to copy its box pointers) and
+// truncates histories through the same atomic prev pointers readers
+// traverse. In-flight commits only ever prepend versions newer than the
+// watermark, so the cut point cannot race them.
 func (s *Store) GC() int {
 	watermark := s.snapshots.min(s.clock.Load())
-	s.boxesMu.RLock()
-	boxes := make([]*VBox, 0, len(s.boxes))
-	for _, b := range s.boxes {
-		boxes = append(boxes, b)
-	}
-	s.boxesMu.RUnlock()
-
 	pruned := 0
-	for _, b := range boxes {
-		// Find the newest version with ts <= watermark; anything older is
-		// unreachable by any current or future transaction.
-		v := b.head.Load()
-		for v != nil && v.ts > watermark {
-			v = v.prev.Load()
+	var boxes []*VBox
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		boxes = boxes[:0]
+		for _, b := range sh.boxes {
+			boxes = append(boxes, b)
 		}
-		if v == nil {
-			continue
+		sh.mu.RUnlock()
+
+		for _, b := range boxes {
+			// Find the newest version with ts <= watermark; anything older is
+			// unreachable by any current or future transaction.
+			v := b.head.Load()
+			for v != nil && v.ts > watermark {
+				v = v.prev.Load()
+			}
+			if v == nil {
+				continue
+			}
+			for cut := v.prev.Load(); cut != nil; cut = cut.prev.Load() {
+				pruned++
+			}
+			v.prev.Store(nil)
 		}
-		for cut := v.prev.Load(); cut != nil; cut = cut.prev.Load() {
-			pruned++
-		}
-		v.prev.Store(nil)
 	}
+	s.gcRuns.Add(1)
+	s.gcPruned.Add(int64(pruned))
 	return pruned
 }
 
@@ -360,10 +687,11 @@ func (s *Store) ActiveTxns() int { return s.snapshots.count() }
 // Txn is a transaction. A Txn must be used by a single goroutine; the store
 // itself is safe for any number of concurrent transactions.
 type Txn struct {
-	store    *Store
-	snapshot int64
-	readOnly bool
-	done     bool
+	store     *Store
+	snapshot  int64
+	snapShard int
+	readOnly  bool
+	done      bool
 
 	// reads maps box ID -> writer of the version observed. writes buffers
 	// the transaction's updates (redo log).
@@ -486,55 +814,86 @@ func (t *Txn) Finish() { t.Abort() }
 
 func (t *Txn) finish() {
 	t.done = true
-	t.store.snapshots.release(t.snapshot)
+	t.store.snapshots.release(t.snapshot, t.snapShard)
 }
 
 // snapshotTracker tracks the multiset of active snapshots so GC knows the
-// oldest snapshot any live transaction can read.
+// oldest snapshot any live transaction can read. It is sharded: Begin spreads
+// registrations over the shards round-robin (the Txn remembers which shard it
+// landed in), so the begin/finish accounting of concurrent committers does
+// not funnel through one mutex. min and count scan all shards — they run at
+// GC frequency, not commit frequency.
 type snapshotTracker struct {
+	next   atomic.Uint32
+	shards [snapTrackerShards]snapCountShard
+}
+
+const snapTrackerShards = 32
+
+type snapCountShard struct {
 	mu     sync.Mutex
 	counts map[int64]int
+	_      [40]byte // keep neighbouring shards off one cache line
 }
 
 func newSnapshotTracker() *snapshotTracker {
-	return &snapshotTracker{counts: make(map[int64]int)}
-}
-
-func (st *snapshotTracker) acquire(snap int64) {
-	st.mu.Lock()
-	st.counts[snap]++
-	st.mu.Unlock()
-}
-
-func (st *snapshotTracker) release(snap int64) {
-	st.mu.Lock()
-	if st.counts[snap] <= 1 {
-		delete(st.counts, snap)
-	} else {
-		st.counts[snap]--
+	st := &snapshotTracker{}
+	for i := range st.shards {
+		st.shards[i].counts = make(map[int64]int)
 	}
-	st.mu.Unlock()
+	return st
+}
+
+// acquire registers an active snapshot and returns the shard index the
+// registration landed in; release must be given it back.
+func (st *snapshotTracker) acquire(snap int64) int {
+	i := int(st.next.Add(1) % snapTrackerShards)
+	sh := &st.shards[i]
+	sh.mu.Lock()
+	sh.counts[snap]++
+	sh.mu.Unlock()
+	return i
+}
+
+func (st *snapshotTracker) release(snap int64, shard int) {
+	sh := &st.shards[shard]
+	sh.mu.Lock()
+	if sh.counts[snap] <= 1 {
+		delete(sh.counts, snap)
+	} else {
+		sh.counts[snap]--
+	}
+	sh.mu.Unlock()
 }
 
 // min returns the oldest active snapshot, or fallback if none are active.
+// The scan is per-shard, not globally atomic: a transaction beginning during
+// the scan has a snapshot no older than fallback (the clock never retreats),
+// so the result is always a safe GC watermark.
 func (st *snapshotTracker) min(fallback int64) int64 {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	m := fallback
-	for snap := range st.counts {
-		if snap < m {
-			m = snap
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for snap := range sh.counts {
+			if snap < m {
+				m = snap
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return m
 }
 
 func (st *snapshotTracker) count() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	n := 0
-	for _, c := range st.counts {
-		n += c
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.counts {
+			n += c
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
