@@ -10,6 +10,7 @@
 //	alc-bench -experiment ablation-opt       # §4.5 optimization ablation
 //	alc-bench -experiment ablation-cc        # conflict-class granularity sweep
 //	alc-bench -experiment ablation-bloom     # D2STM Bloom size/abort trade-off
+//	alc-bench -experiment ablation-routing   # live affinity routing vs oblivious placement
 //	alc-bench -experiment ablation-batch     # group-commit batching + parallel apply
 //	alc-bench -experiment all
 //
@@ -40,7 +41,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment   = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|ablation-batch|all")
+		experiment   = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|ablation-routing|ablation-batch|all")
 		replicaArg   = flag.String("replicas", "2,3,4,5,6,7,8", "comma-separated cluster sizes for the sweeps")
 		duration     = flag.Duration("duration", 2*time.Second, "measured duration per throughput cell")
 		latCommits   = flag.Int("latency-commits", 300, "commits per latency cell")
@@ -164,14 +165,35 @@ func run() error {
 			return nil
 		},
 		"ablation-locality": func() error {
-			rows, err := bench.RunAblationLocality(4, *duration)
+			n := 4
+			if len(replicas) > 0 {
+				n = replicas[0]
+			}
+			rows, err := bench.RunAblationLocality(n, *duration)
 			if err != nil {
 				return err
 			}
 			bench.PrintAblation(os.Stdout,
-				"Ablation — §6 locality-aware routing on high-conflict bank (n=4)", rows)
+				fmt.Sprintf("Ablation — §6 locality-aware routing on high-conflict bank (n=%d)", n), rows)
 			if csvw != nil {
 				return csvw.WriteAblation("ablation-locality", rows)
+			}
+			return nil
+		},
+		"ablation-routing": func() error {
+			n := 4
+			if len(replicas) > 0 {
+				n = replicas[0]
+			}
+			rows, err := bench.RunAblationRouting(n, *duration)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblation(os.Stdout,
+				fmt.Sprintf("Ablation — locality-aware routing: live affinity map vs oblivious placement (n=%d, zipfian s=%.1f over %d pairs)",
+					n, bench.RoutingSkew, bench.RoutingPairs), rows)
+			if csvw != nil {
+				return csvw.WriteAblation("ablation-routing", rows)
 			}
 			return nil
 		},
@@ -206,7 +228,7 @@ func run() error {
 		},
 	}
 
-	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality", "ablation-batch"}
+	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality", "ablation-routing", "ablation-batch"}
 	if *experiment != "all" {
 		fn, ok := experiments[*experiment]
 		if !ok {

@@ -100,10 +100,42 @@ func (w *Workload) accounts(replica, thread int) (string, string) {
 	}
 }
 
+// Items returns the data items the (replica, thread) pair's transfers touch
+// — the declared item set a locality-aware router routes on.
+func (w *Workload) Items(replica, thread int) []string {
+	a, b := w.accounts(replica, thread)
+	return []string{a, b}
+}
+
 // Transfer returns the transaction body for one unit transfer executed by
 // the given replica. Equivalent to TransferAt(replica, 0, round).
 func (w *Workload) Transfer(replica, round int) func(*stm.Txn) error {
 	return w.TransferAt(replica, 0, round)
+}
+
+// TransferBetween returns a transaction body moving one unit between two
+// explicit accounts, with the direction alternating by round so balances
+// wander instead of draining. It preserves the same conservation invariant
+// as TransferAt for any account pair drawn from the seeded array.
+func TransferBetween(a, b string, round int) func(*stm.Txn) error {
+	src, dst := a, b
+	if round%2 == 1 {
+		src, dst = dst, src
+	}
+	return func(tx *stm.Txn) error {
+		sv, err := tx.Read(src)
+		if err != nil {
+			return err
+		}
+		dv, err := tx.Read(dst)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(src, sv.(int)-1); err != nil {
+			return err
+		}
+		return tx.Write(dst, dv.(int)+1)
+	}
 }
 
 // TransferAt returns the transaction body for one unit transfer executed by

@@ -71,6 +71,10 @@ type Params struct {
 	// Batch overrides individual batching knobs when batching is enabled
 	// (zero value = defaults).
 	Batch core.BatchConfig
+	// Route wires the locality-aware transaction router (internal/route)
+	// over the cluster: the affinity variant of ablation-routing submits
+	// through Cluster.Submit instead of calling a replica directly.
+	Route bool
 }
 
 func (p Params) String() string {
@@ -95,7 +99,8 @@ func NewCluster(p Params, seed map[string]stm.Value) (*cluster.Cluster, error) {
 		batch.Disable = true
 	}
 	return cluster.New(cluster.Config{
-		N: p.Replicas,
+		N:     p.Replicas,
+		Route: p.Route,
 		Core: core.Config{
 			Protocol: p.Protocol,
 			Lease: lease.Config{

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"math/rand"
+)
+
+// Zipf is a deterministic zipfian key-index stream: Next draws ranks in
+// [0, n) where rank 0 is the hottest key, with P(rank k) ∝ 1/(k+1)^s. Every
+// stream with the same (seed, s, n) produces the same sequence — seed it via
+// randseed.Derive so a failing run reproduces from its logged root — and
+// streams with DIFFERENT seeds still share the same hot set (the ranks),
+// which is what makes a cluster-wide zipfian workload contend on the same
+// few keys from every origin.
+//
+// Not safe for concurrent use: give each goroutine its own stream with a
+// derived seed.
+type Zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipf creates a stream over n keys with skew s (s > 1; larger is more
+// skewed — s ≈ 1.2 gives the classic "few hot keys take most of the mass"
+// shape used by the routing experiments).
+func NewZipf(seed int64, s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: n}
+}
+
+// N returns the key-space size.
+func (z *Zipf) N() int { return z.n }
+
+// Next draws the next key index.
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// NextPair draws two DISTINCT key indices (the transfer-workload shape: a
+// source and a destination account). With n == 1 both are 0.
+func (z *Zipf) NextPair() (a, b int) {
+	a = z.Next()
+	if z.n == 1 {
+		return a, a
+	}
+	for {
+		b = z.Next()
+		if b != a {
+			return a, b
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/alcstm/alc/internal/randseed"
+)
+
+// TestZipfSkew pins the distribution shape the routing experiment depends
+// on: a zipfian stream concentrates most of its mass on a few hot keys, with
+// frequencies decaying by rank.
+func TestZipfSkew(t *testing.T) {
+	root := randseed.Root()
+	t.Logf("root seed %d (override with %s)", root, randseed.EnvVar)
+
+	const (
+		n     = 1024
+		draws = 200_000
+		s     = 1.2
+	)
+	z := NewZipf(randseed.Derive(root, "zipf-skew"), s, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 0 || k >= n {
+			t.Fatalf("draw %d out of range [0,%d)", k, n)
+		}
+		counts[k]++
+	}
+
+	frac := func(topK int) float64 {
+		total := 0
+		for i := 0; i < topK; i++ {
+			total += counts[i]
+		}
+		return float64(total) / draws
+	}
+	if f := frac(1); f < 0.10 {
+		t.Fatalf("hottest key drew %.1f%% of the stream, want >= 10%%", 100*f)
+	}
+	if f := frac(16); f < 0.40 {
+		t.Fatalf("top-16 keys drew %.1f%% of the stream, want >= 40%%", 100*f)
+	}
+	// Frequency decays by rank: compare well-separated ranks so statistical
+	// noise cannot invert the ordering.
+	if !(counts[0] > counts[8] && counts[8] > counts[64]) {
+		t.Fatalf("frequencies do not decay by rank: c[0]=%d c[8]=%d c[64]=%d",
+			counts[0], counts[8], counts[64])
+	}
+}
+
+// TestZipfDeterminism: same seed, same stream; different seeds, different
+// streams over the same hot set.
+func TestZipfDeterminism(t *testing.T) {
+	seed := randseed.Derive(randseed.Root(), "zipf-det")
+	a, b := NewZipf(seed, 1.2, 256), NewZipf(seed, 1.2, 256)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: same-seed streams diverge (%d vs %d)", i, x, y)
+		}
+	}
+	c := NewZipf(seed+1, 1.2, 256)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestZipfNextPairDistinct(t *testing.T) {
+	z := NewZipf(randseed.Derive(randseed.Root(), "zipf-pair"), 1.2, 64)
+	for i := 0; i < 5000; i++ {
+		a, b := z.NextPair()
+		if a == b {
+			t.Fatalf("draw %d: pair not distinct (%d)", i, a)
+		}
+	}
+	// Degenerate single-key space must not loop forever.
+	one := NewZipf(1, 1.2, 1)
+	if a, b := one.NextPair(); a != 0 || b != 0 {
+		t.Fatalf("n=1 pair = (%d,%d), want (0,0)", a, b)
+	}
+}

@@ -16,7 +16,9 @@ import (
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/memnet"
 	"github.com/alcstm/alc/internal/obs"
+	"github.com/alcstm/alc/internal/route"
 	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/trace"
 	"github.com/alcstm/alc/internal/transport"
 )
 
@@ -38,6 +40,11 @@ type Config struct {
 	Seed map[string]stm.Value
 	// StartTimeout bounds waiting for the initial view. Default 10s.
 	StartTimeout time.Duration
+	// Route wires a locality-aware transaction router (internal/route) over
+	// the cluster: Submit forwards each transaction to the replica the live
+	// lease-affinity map says already holds its leases. Requires a tracer to
+	// feed the map; when Core.Tracer is nil one is created internally.
+	Route bool
 }
 
 // Cluster is a running set of replicas over one simulated network. All
@@ -50,6 +57,8 @@ type Cluster struct {
 
 	mu       sync.RWMutex
 	replicas []*core.Replica
+
+	router *route.Router
 
 	obsCancels []func()
 }
@@ -72,6 +81,18 @@ func New(cfg Config) (*Cluster, error) {
 		c.ids = append(c.ids, transport.ID(i))
 	}
 
+	// The router must be attached to the tracer BEFORE any replica starts:
+	// its affinity map is fed by the lease grant events and primary view
+	// changes the replicas emit from their first delivery on.
+	if cfg.Route {
+		if c.cfg.Core.Tracer == nil {
+			c.cfg.Core.Tracer = trace.New(0)
+		}
+		c.router = route.New(c.cfg.Core.Lease.Mapper)
+		c.router.SetLive(c.ids)
+		c.cfg.Core.Tracer.Attach(c.router)
+	}
+
 	// Register every replica slot with the process-wide obs registry so an
 	// obs server started with -http sees each cluster member as c<n>-r<i>.
 	// Getters resolve lazily through Replica(i): crash/restart cycles swap
@@ -82,6 +103,11 @@ func New(cfg Config) (*Cluster, error) {
 		c.obsCancels = append(c.obsCancels,
 			obs.Default.Register(fmt.Sprintf("c%d-r%d", cn, i),
 				func() *core.Replica { return c.Replica(i) }))
+	}
+	if c.router != nil {
+		c.obsCancels = append(c.obsCancels,
+			obs.Default.RegisterRouter(fmt.Sprintf("c%d", cn),
+				func() *route.Router { return c.router }))
 	}
 
 	for i := 0; i < cfg.N; i++ {
@@ -159,6 +185,11 @@ func (c *Cluster) Crash(i int) {
 	if r != nil {
 		c.net.Crash(transport.ID(i))
 		_ = r.Close()
+	}
+	// The router learns of the crash from the next view change too, but the
+	// immediate eviction keeps Submit from even trying the dead handle.
+	if c.router != nil {
+		c.router.Evict(transport.ID(i))
 	}
 }
 
@@ -298,8 +329,11 @@ func (c *Cluster) TotalStats() core.Stats {
 		out.Commits += s.Commits
 		out.Aborts += s.Aborts
 		out.ReadOnly += s.ReadOnly
+		out.MigratedIn += s.MigratedIn
 		out.Lease.Requested += s.Lease.Requested
 		out.Lease.Reused += s.Lease.Reused
+		out.Lease.Acquired += s.Lease.Acquired
+		out.Lease.Stolen += s.Lease.Stolen
 		out.Lease.Freed += s.Lease.Freed
 		out.Lease.Deadlocks += s.Lease.Deadlocks
 	}
@@ -349,56 +383,72 @@ func (c *Cluster) CheckHistories() string {
 // (one atomic broadcast + release per commit) into lease reuse (zero
 // communication until the write-set broadcast).
 //
-// The mapping uses rendezvous (highest-random-weight) hashing over the live
-// replicas, keyed by the smallest item hash, so it stays stable when
-// replicas crash or rejoin and distributes unrelated data sets evenly.
+// The static owner assignment is route.Rendezvous over the live replicas;
+// the dynamic alternative — the live affinity map — is what Submit uses when
+// the cluster was built with Config.Route.
 func (c *Cluster) Preferred(items []string) *core.Replica {
 	live := c.Replicas()
-	if len(live) == 0 {
+	ids := make([]transport.ID, len(live))
+	for i, r := range live {
+		ids[i] = r.ID()
+	}
+	id, ok := route.Rendezvous(items, ids)
+	if !ok {
 		return nil
 	}
-	// Canonical key: the minimum item hash, so any overlap-heavy family of
-	// data sets that shares its hottest item maps to one owner.
-	var key uint64
-	for i, it := range items {
-		h := fnv64(it)
-		if i == 0 || h < key {
-			key = h
-		}
-	}
-	var (
-		best  *core.Replica
-		bestW uint64
-	)
 	for _, r := range live {
-		w := mix64(key ^ (uint64(r.ID()) + 0x9e3779b97f4a7c15))
-		if best == nil || w > bestW {
-			best, bestW = r, w
+		if r.ID() == id {
+			return r
 		}
 	}
-	return best
+	return nil
 }
 
-// fnv64 hashes a string (FNV-1a).
-func fnv64(s string) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime
+// Router exposes the cluster's transaction router (nil unless Config.Route).
+func (c *Cluster) Router() *route.Router { return c.router }
+
+// Submit executes a transaction over the declared item set, routed to the
+// replica the affinity map says already holds the covering leases. origin is
+// the replica index the transaction logically arrives at (its client's home
+// replica): low-confidence decisions execute there, and it is the fallback
+// when a routed target turns out to be dead before the view change that
+// would evict it lands. Without Config.Route, Submit degenerates to local
+// execution at origin.
+//
+// fn may run on a different replica's store than origin's: like any Atomic
+// body it must be self-contained (no captured state from another replica's
+// reads).
+func (c *Cluster) Submit(origin int, items []string, fn func(*stm.Txn) error) error {
+	if c.router == nil {
+		if r := c.Replica(origin); r != nil {
+			return r.Atomic(fn)
+		}
+		return core.ErrStopped
 	}
-	return h
-}
-
-// mix64 is a 64-bit finalizer (splitmix64) giving rendezvous weights.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	target, _ := c.router.Target(transport.ID(origin), items)
+	r := c.Replica(int(target))
+	if r == nil {
+		// Stale affinity: the owner died and the view change is still in
+		// flight. Evict it now and re-route — the second pick cannot choose
+		// it again.
+		c.router.Evict(target)
+		target, _ = c.router.Target(transport.ID(origin), items)
+		r = c.Replica(int(target))
+	}
+	if r == nil {
+		r = c.Replica(origin)
+	}
+	if r == nil {
+		// Origin itself is down (its client threads outlive it in the chaos
+		// harness): any live replica serves.
+		live := c.Replicas()
+		if len(live) == 0 {
+			return core.ErrStopped
+		}
+		r = live[0]
+	}
+	if r.ID() == transport.ID(origin) {
+		return r.Atomic(fn)
+	}
+	return r.SubmitMigrated(transport.ID(origin), fn)
 }

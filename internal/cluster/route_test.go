@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/memnet"
+	"github.com/alcstm/alc/internal/route"
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+func newRoutedCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		N:     n,
+		Core:  core.Config{Protocol: core.ProtocolALC},
+		Net:   memnet.Config{Latency: 500 * time.Microsecond},
+		GCS:   testGCS(),
+		Seed:  map[string]stm.Value{"hot": 0, "a": 0, "b": 0},
+		Route: true,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestRoutedSubmitConcentratesHotClass drives the same hot item from every
+// origin through Submit: after the first rendezvous-routed transactions the
+// affinity map must settle the class on one owner, migrations must flow, and
+// the cluster-wide lease reuse rate must be high (the whole point of routing).
+func TestRoutedSubmitConcentratesHotClass(t *testing.T) {
+	c := newRoutedCluster(t, 4)
+
+	const perOrigin = 40
+	for i := 0; i < perOrigin; i++ {
+		for origin := 0; origin < c.N(); origin++ {
+			if err := c.Submit(origin, []string{"hot"}, increment("hot")); err != nil {
+				t.Fatalf("Submit(origin=%d): %v", origin, err)
+			}
+		}
+	}
+
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	total := c.N() * perOrigin
+	if v := readBox(t, c.Replica(0), "hot"); v.(int) != total {
+		t.Fatalf("hot = %v, want %d", v, total)
+	}
+
+	// The class must have a settled affinity owner and non-origin submissions
+	// must have migrated to it.
+	if _, ok := c.Router().Owner([]string{"hot"}); !ok {
+		t.Fatalf("no settled affinity owner for the hot class: %+v", c.Router().Stats())
+	}
+	s := c.TotalStats()
+	if s.MigratedIn == 0 {
+		t.Fatalf("no transactions migrated: router stats %+v", c.Router().Stats())
+	}
+	// With every hot transaction executing at the lease owner, reuse must
+	// dominate fresh acquisitions by far.
+	if rate := s.Lease.ReuseRate(); rate < 0.9 {
+		t.Fatalf("cluster lease reuse rate = %.3f, want >= 0.9 (lease: %+v, router: %+v)",
+			rate, s.Lease, c.Router().Stats())
+	}
+	rs := c.Router().Stats()
+	if rs.Affinity == 0 {
+		t.Fatalf("no affinity decisions: %+v", rs)
+	}
+}
+
+// TestRoutedOwnerCrashReroutes is the affinity-staleness test: the hot
+// class's owner crashes mid-stream, and routed submissions must keep
+// committing — first via the immediate dead-target fallback, then via the
+// view-change eviction — without wedging or ever routing to the dead handle.
+func TestRoutedOwnerCrashReroutes(t *testing.T) {
+	c := newRoutedCluster(t, 4)
+
+	submitAll := func(rounds int) int {
+		committed := 0
+		for i := 0; i < rounds; i++ {
+			for origin := 0; origin < c.N(); origin++ {
+				if c.Replica(origin) == nil {
+					continue // origin itself is the crashed replica
+				}
+				err := c.Submit(origin, []string{"hot"}, increment("hot"))
+				switch {
+				case err == nil:
+					committed++
+				case errors.Is(err, core.ErrEjected) || errors.Is(err, core.ErrStopped):
+					// Transient: the target was mid-ejection. The router must
+					// still make progress on later submissions.
+				default:
+					t.Fatalf("Submit(origin=%d): %v", origin, err)
+				}
+			}
+		}
+		return committed
+	}
+
+	if n := submitAll(30); n == 0 {
+		t.Fatal("no commits in warmup")
+	}
+	owner, ok := c.Router().Owner([]string{"hot"})
+	if !ok {
+		t.Fatalf("no settled owner after warmup: %+v", c.Router().Stats())
+	}
+
+	c.Crash(int(owner))
+
+	// The crash evicted the owner immediately: no submission may wedge, and
+	// the survivors must keep committing while the view change settles.
+	done := make(chan int, 1)
+	go func() { done <- submitAll(40) }()
+	var committed int
+	select {
+	case committed = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("routed submissions wedged after owner crash")
+	}
+	if committed == 0 {
+		t.Fatal("no commits after owner crash")
+	}
+	if newOwner, ok := c.Router().Owner([]string{"hot"}); ok && newOwner == owner {
+		t.Fatalf("router still maps the hot class to crashed replica %d", owner)
+	}
+
+	// Recovery: the owner rejoins via state transfer and the cluster
+	// converges on a serializable history.
+	if err := c.Restart(int(owner)); err != nil {
+		t.Fatalf("Restart(%d): %v", owner, err)
+	}
+	if err := c.Replica(int(owner)).WaitForView(c.N(), 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := submitAll(10); n == 0 {
+		t.Fatal("no commits after owner rejoin")
+	}
+	if err := c.WaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if diff := c.CheckHistories(); diff != "" {
+		t.Fatalf("history divergence after crash/rejoin: %s", diff)
+	}
+}
+
+// TestSubmitWithoutRouterRunsLocally covers the degenerate path: a cluster
+// built without Config.Route executes Submit at the origin.
+func TestSubmitWithoutRouterRunsLocally(t *testing.T) {
+	c := newCluster(t, 3, core.Config{Protocol: core.ProtocolALC})
+	if c.Router() != nil {
+		t.Fatal("router wired without Config.Route")
+	}
+	if err := c.Submit(1, []string{"a"}, increment("a")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Replica(1).Stats().Commits != 1 {
+		t.Fatal("Submit did not execute at the origin")
+	}
+	if c.TotalStats().MigratedIn != 0 {
+		t.Fatal("unrouted Submit migrated a transaction")
+	}
+}
+
+// TestPreferredMatchesRendezvous pins the absorbed implementation: Preferred
+// must agree with route.Rendezvous over the live replica IDs.
+func TestPreferredMatchesRendezvous(t *testing.T) {
+	c := newCluster(t, 4, core.Config{Protocol: core.ProtocolALC})
+	for _, items := range [][]string{{"a"}, {"b"}, {"a", "b"}, {"counter"}} {
+		want, _ := route.Rendezvous(items, []transport.ID{0, 1, 2, 3})
+		if got := c.Preferred(items); got == nil || got.ID() != want {
+			t.Fatalf("Preferred(%v) = %v, want %v", items, got, want)
+		}
+	}
+	c.Crash(2)
+	want, _ := route.Rendezvous([]string{"a"}, []transport.ID{0, 1, 3})
+	if got := c.Preferred([]string{"a"}); got == nil || got.ID() != want {
+		t.Fatalf("Preferred after crash = %v, want %v", got, want)
+	}
+}

@@ -133,6 +133,7 @@ type Stats struct {
 	Commits       int64
 	Aborts        int64 // certification/validation failures (before retry)
 	ReadOnly      int64
+	MigratedIn    int64 // transactions shipped here by a remote router (SubmitMigrated)
 	Lease         lease.Stats
 	RetriesPerTxn metrics.IntDistSnapshot // aborts suffered per committed txn
 	// CommitLatency is the end-to-end update-transaction latency: from the
@@ -263,6 +264,7 @@ type Replica struct {
 	nCommits    metrics.Counter
 	nAborts     metrics.Counter
 	nReadOnly   metrics.Counter
+	nMigratedIn metrics.Counter
 	retries     *metrics.IntDist
 	latency     metrics.Histogram // end-to-end, first attempt to commit
 	batchSizes  *metrics.IntDist
@@ -342,6 +344,7 @@ func (r *Replica) Stats() Stats {
 		Commits:       r.nCommits.Value(),
 		Aborts:        r.nAborts.Value(),
 		ReadOnly:      r.nReadOnly.Value(),
+		MigratedIn:    r.nMigratedIn.Value(),
 		Lease:         r.lm.Stats(),
 		RetriesPerTxn: r.retries.Freeze(),
 		CommitLatency: r.latency.Snapshot(),

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/lease"
 	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/trace"
 	"github.com/alcstm/alc/internal/transport"
 )
 
@@ -68,6 +70,14 @@ func (h *gcsHandler) OnViewChange(v gcs.View) {
 	r.viewMu.Unlock()
 	r.primary.Store(v.Primary)
 	r.lm.HandleViewChange(v.Members, v.Rejoined)
+	if t := r.cfg.Tracer; t != nil {
+		t.Emit(trace.Event{Replica: r.id, Kind: trace.KindView,
+			Msg: fmt.Sprintf("view %d members=%v rejoined=%v primary=%t",
+				v.ID, v.Members, v.Rejoined, v.Primary),
+			Payload: trace.ViewChange{
+				ID: v.ID, Members: v.Members, Rejoined: v.Rejoined, Primary: v.Primary,
+			}})
+	}
 }
 
 // OnEjected fails every in-flight commit: only read-only transactions remain

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/trace"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// SubmitMigrated executes a transaction shipped here by another replica's
+// router (the Hendler-style task-migration alternative to lease shipping: when
+// a conflict class is hot on this replica, moving the transaction to the
+// lease is one local call, moving the lease to the transaction is a full
+// total-order rotation). The transaction is first-class local work: it
+// executes against this replica's store, certifies under this replica's
+// leases, and its outcome is returned synchronously to the caller — the
+// origin replica's router blocks in this call, which is the reply path.
+//
+// origin is the replica the transaction was submitted at, recorded for
+// diagnostics; the committed write-set carries THIS replica's identity, which
+// is what the certification protocol and the history checker key on.
+func (r *Replica) SubmitMigrated(origin transport.ID, fn func(*stm.Txn) error) error {
+	r.nMigratedIn.Inc()
+	if t := r.cfg.Tracer; t != nil {
+		t.Emitf(r.id, trace.KindRoute, 0, "migrated txn from r%d", origin)
+	}
+	return r.Atomic(fn)
+}

@@ -198,6 +198,11 @@ type Endpoint struct {
 	// suspicion state
 	lastHeard map[transport.ID]time.Time
 	joinReqs  map[transport.ID]bool
+	// peerJoinViews records, on an ejected process, the last installed view
+	// each peer advertised in a joinReq — the evidence from which a dead
+	// primary component is detected and recovered (maybeRecoverLocked).
+	peerJoinViews map[transport.ID]uint64
+	ejectedSince  time.Time
 	// staleSince records when a member was first seen heartbeating a view
 	// older than the current one (cleared by a current-view beacon). Only a
 	// member stale for longer than SuspectAfter is pulled back in as a joiner:
@@ -251,9 +256,10 @@ func NewEndpoint(tr transport.Transport, h Handler, cfg Config) (*Endpoint, erro
 		tr:        tr,
 		handler:   h,
 		self:      tr.Self(),
-		lastHeard:  make(map[transport.ID]time.Time),
-		joinReqs:   make(map[transport.ID]bool),
-		staleSince: make(map[transport.ID]time.Time),
+		lastHeard:     make(map[transport.ID]time.Time),
+		joinReqs:      make(map[transport.ID]bool),
+		staleSince:    make(map[transport.ID]time.Time),
+		peerJoinViews: make(map[transport.ID]uint64),
 		notify:    make(chan struct{}, 1),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),

@@ -72,9 +72,14 @@ type heartbeat struct {
 	From transport.ID
 }
 
-// joinReq asks the primary component to admit the sender.
+// joinReq asks the primary component to admit the sender. ViewID advertises
+// the sender's last installed view: 0 for a fresh or restarted (stateless)
+// process, the view it was ejected at for a process whose state survived.
+// Ejected processes collect peers' advertised ViewIDs to detect a dead
+// primary component and recover it (see maybeRecoverLocked).
 type joinReq struct {
-	From transport.ID
+	From   transport.ID
+	ViewID uint64
 }
 
 // vcPrepare starts a view change: members of the proposed view stop

@@ -75,6 +75,10 @@ func (e *Endpoint) handleNet(msg transport.Message) {
 	case *joinReq:
 		if e.inPrimary {
 			e.joinReqs[m.From] = true
+		} else if !e.joining {
+			// Ejected with state: remember what view the peer claims, so a
+			// dead primary component can be detected and recovered.
+			e.peerJoinViews[m.From] = m.ViewID
 		}
 	case *vcPrepare:
 		e.handlePrepare(m)
@@ -106,6 +110,7 @@ func (e *Endpoint) ejectLocked() {
 		return
 	}
 	e.inPrimary = false
+	e.ejectedSince = time.Now()
 	e.blocked = false
 	e.ejectedAt = e.view.ID
 	e.outbox = nil
@@ -137,9 +142,14 @@ func (e *Endpoint) tick() {
 
 	if e.joining || (!e.inPrimary && (e.wantJoin || e.cfg.AutoRejoin)) {
 		e.maybeJoinReqLocked(now)
-		return
 	}
 	if !e.inPrimary {
+		if !e.joining {
+			// Ejected with state intact: watch for a dead primary component
+			// and recover it (no-op while any live primary can readmit us).
+			e.maybeRecoverLocked(now)
+			e.maybeFinishProposalLocked(now)
+		}
 		return
 	}
 
@@ -192,7 +202,11 @@ func (e *Endpoint) maybeJoinReqLocked(now time.Time) {
 
 func (e *Endpoint) sendJoinReq() {
 	e.lastJoinReq = time.Now()
-	req := &joinReq{From: e.self}
+	viewID := uint64(0)
+	if !e.joining {
+		viewID = e.view.ID // state intact: advertise it for recovery
+	}
+	req := &joinReq{From: e.self, ViewID: viewID}
 	for _, m := range e.cfg.Members {
 		if m != e.self {
 			_ = e.tr.Send(m, req)
@@ -284,6 +298,99 @@ func (e *Endpoint) maybeProposeLocked(now time.Time, suspected map[transport.ID]
 		startedAt: now,
 	}
 	e.logf("proposing view %d members %v (joiners %v)", id, members, joiners)
+	prep := &vcPrepare{ProposalID: id, Proposer: e.self, Members: members}
+	for _, m := range members {
+		_ = e.tr.Send(m, prep)
+	}
+}
+
+// maybeRecoverLocked restarts a dead primary component. A view change can
+// leave EVERY process outside the primary component — e.g. the coordinator
+// partitions away while the only other stateful survivor cannot form a
+// quorum alone — and join requests are only answered by primary members, so
+// without recovery the group is wedged forever even though a majority of the
+// last view's members still hold their full state.
+//
+// Ejected processes advertise their last installed view in their join
+// requests. An ejected process with state at view V may conclude that no
+// primary component at view V or later exists anywhere once EVERY other
+// member of V is accounted for: advertising exactly V (ejected with state,
+// like us) or advertising an older view or 0 (stateless restart, or left
+// behind by an earlier install). Members in a live primary never send join
+// requests, so full accounting proves no member of V is in one — and any
+// view later than V would have needed a majority of V's members as stateful
+// participants. The accounting cannot go stale, because an ejected process
+// stays ejected until a view later than V is installed: classification is
+// objective (each peer's class depends only on its own state), so every
+// would-be recoverer that achieves full accounting computes the same
+// stateful set, and the lowest-ID member of it is the unique process that
+// re-proposes — through the ordinary prepare/flush/install machinery. The
+// proposal-ID bump past any answered proposal keeps view IDs unique, and
+// handleFlush demotes respondents that turn out to be behind V (or to have
+// lost their state since advertising it) to state-transfer joiners.
+func (e *Endpoint) maybeRecoverLocked(now time.Time) {
+	if e.joining || e.inPrimary || e.prop != nil || e.ejectedAt == 0 {
+		return
+	}
+	// Give any surviving primary component a full suspicion interval to
+	// readmit us through the normal join path before assuming it is dead.
+	if now.Sub(e.ejectedSince) < e.cfg.SuspectAfter {
+		return
+	}
+	stateful := []transport.ID{e.self}
+	joiners := make(map[transport.ID]bool)
+	for m, v := range e.peerJoinViews {
+		switch {
+		case m == e.self:
+		case v > e.view.ID:
+			// A peer ahead of us proves we missed an install: we are the
+			// stale ones and must rejoin, not coordinate.
+			return
+		case v == e.view.ID && e.view.Contains(m):
+			stateful = append(stateful, m)
+		default:
+			joiners[m] = true
+		}
+	}
+	// Full accounting: every other member of our view must have explained
+	// itself. An unaccounted member may be running a live primary (primary
+	// members are silent) — only the normal join path may proceed then.
+	for _, m := range e.view.Members {
+		if m == e.self {
+			continue
+		}
+		if _, ok := e.peerJoinViews[m]; !ok {
+			return
+		}
+	}
+	for _, m := range stateful {
+		if m < e.self {
+			return // a lower-ID stateful peer coordinates
+		}
+	}
+
+	members := append([]transport.ID(nil), stateful...)
+	for j := range joiners {
+		members = append(members, j)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	id := e.view.ID + 1
+	if e.answeredProposal >= id {
+		id = e.answeredProposal + 1
+	}
+	if e.lastProposalID >= id {
+		id = e.lastProposalID + 1
+	}
+	e.lastProposalID = id
+	e.prop = &proposal{
+		id:        id,
+		members:   members,
+		joiners:   joiners,
+		responses: make(map[transport.ID]*vcFlush),
+		startedAt: now,
+	}
+	e.logf("recovering dead primary: proposing view %d members %v (joiners %v)", id, members, joiners)
 	prep := &vcPrepare{ProposalID: id, Proposer: e.self, Members: members}
 	for _, m := range members {
 		_ = e.tr.Send(m, prep)
@@ -633,6 +740,7 @@ func (e *Endpoint) applyInstallLocked(in *vcInstall, freshState bool) {
 	e.prop = nil
 	e.joinReqs = make(map[transport.ID]bool)
 	e.staleSince = make(map[transport.ID]time.Time)
+	e.peerJoinViews = make(map[transport.ID]uint64)
 	now := time.Now()
 	for _, m := range in.View.Members {
 		e.lastHeard[m] = now

@@ -48,6 +48,7 @@ func (m *Manager) HandleRequestTO(req *Request) {
 				st.headCount++
 			}
 		}
+		m.emitTransition(OpGrant, st, 0)
 	}
 
 	// Fairness and liveness: ANY conflicting request — remote (the paper's
@@ -57,9 +58,9 @@ func (m *Manager) HandleRequestTO(req *Request) {
 	// and transfer. Without the local half, a replica's own retained lease
 	// would starve its own later requests forever.
 	if req.Wildcard {
-		m.blockAllLocalLocked(st)
+		m.blockAllLocalLocked(st, req.ID.Proc)
 	} else {
-		m.blockConflictingLocalLocked(req.Classes, st)
+		m.blockConflictingLocalLocked(req.Classes, st, req.ID.Proc)
 	}
 
 	m.afterChangeLocked()
@@ -87,9 +88,9 @@ func (m *Manager) HandleRequestOpt(req *Request) {
 		return
 	}
 	if req.Wildcard {
-		m.blockAllLocalLocked(nil)
+		m.blockAllLocalLocked(nil, req.ID.Proc)
 	} else {
-		m.blockConflictingLocalLocked(req.Classes, nil)
+		m.blockConflictingLocalLocked(req.Classes, nil, req.ID.Proc)
 	}
 	m.maybeFreeAllLocked()
 }
@@ -148,6 +149,7 @@ func (m *Manager) HandleViewChange(members []transport.ID, fresh []transport.ID)
 			m.tracef("view purge %v (members=%v fresh=%v)", id, members, fresh)
 			m.dequeueLocked(st)
 			st.freed = true
+			m.emitTransition(OpPurge, st, 0)
 			delete(m.reqs, id)
 		}
 	}
@@ -176,13 +178,16 @@ func (m *Manager) HandleEjected() {
 // blockConflictingLocalLocked implements the fairness rule: once a remote
 // conflicting request is delivered, local requests on overlapping classes
 // stop admitting new transactions and are released as soon as they drain.
-func (m *Manager) blockConflictingLocalLocked(classes []ConflictClass, except *reqState) {
+// by is the blocking request's issuer; a remote by blocking an ENABLED local
+// request is a steal (the lease this replica held is migrating away).
+func (m *Manager) blockConflictingLocalLocked(classes []ConflictClass, except *reqState, by transport.ID) {
 	for _, st := range m.reqs {
 		if st == except {
 			continue
 		}
 		if st.local && !st.freed && (st.req.Wildcard || intersects(st.req.Classes, classes)) {
 			if !st.blocked {
+				m.noteBlockedLocked(st, by)
 				m.tracef("block %v active=%d", st.req.ID, st.active)
 			}
 			st.blocked = true
@@ -192,15 +197,28 @@ func (m *Manager) blockConflictingLocalLocked(classes []ConflictClass, except *r
 
 // blockAllLocalLocked is the wildcard's fairness rule: it conflicts with
 // every local request.
-func (m *Manager) blockAllLocalLocked(except *reqState) {
+func (m *Manager) blockAllLocalLocked(except *reqState, by transport.ID) {
 	for _, st := range m.reqs {
 		if st != except && st.local && !st.freed {
 			if !st.blocked {
+				m.noteBlockedLocked(st, by)
 				m.tracef("block %v active=%d (wild)", st.req.ID, st.active)
 			}
 			st.blocked = true
 		}
 	}
+}
+
+// noteBlockedLocked records the first blocking of a local request: when a
+// REMOTE request blocks a lease this replica actually held (enabled), the
+// lease was stolen — the routing-relevant outcome next to reuse and fresh
+// acquisition.
+func (m *Manager) noteBlockedLocked(st *reqState, by transport.ID) {
+	if by == m.self || !st.enqueued || !m.enabledLocked(st) {
+		return
+	}
+	m.nStolen.Inc()
+	m.emitTransition(OpSteal, st, by)
 }
 
 // applyFreedLocked dequeues one released request, buffering early releases.
@@ -222,6 +240,7 @@ func (m *Manager) applyFreedLocked(id RequestID) {
 	}
 	m.tracef("freed %v applied", id)
 	st.freed = true
+	m.emitTransition(OpFree, st, 0)
 	m.dequeueLocked(st)
 	if !st.local {
 		delete(m.reqs, id)
@@ -296,6 +315,7 @@ func (m *Manager) maybeFreeAllLocked() {
 		if st.local && st.enqueued && st.blocked && !st.freed && !st.aborted &&
 			!st.replacePending && st.active == 0 {
 			st.freed = true
+			m.emitTransition(OpFree, st, 0)
 			m.dequeueLocked(st)
 			batch = append(batch, id)
 			freedStates = append(freedStates, st)

@@ -61,6 +61,7 @@ func (m *Manager) GetLeaseEverything(old RequestID) (RequestID, error) {
 		m.releaseWaiterLocked(st)
 		return RequestID{}, err
 	}
+	m.nAcquired.Inc()
 	return req.ID, nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/lease"
 	"github.com/alcstm/alc/internal/metrics"
+	"github.com/alcstm/alc/internal/route"
 	"github.com/alcstm/alc/internal/transport"
 )
 
@@ -38,6 +39,7 @@ import (
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*entry
+	routers map[string]*routerEntry
 }
 
 type entry struct {
@@ -45,9 +47,17 @@ type entry struct {
 	get  func() *core.Replica
 }
 
+type routerEntry struct {
+	name string
+	get  func() *route.Router
+}
+
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+	return &Registry{
+		entries: make(map[string]*entry),
+		routers: make(map[string]*routerEntry),
+	}
 }
 
 // Default is the process-wide registry. Cluster harnesses auto-register
@@ -72,11 +82,39 @@ func (g *Registry) Register(name string, get func() *core.Replica) (cancel func(
 	}
 }
 
+// RegisterRouter adds a named transaction-router getter (one per routed
+// cluster, not per replica) and returns a cancel function that removes it.
+func (g *Registry) RegisterRouter(name string, get func() *route.Router) (cancel func()) {
+	e := &routerEntry{name: name, get: get}
+	g.mu.Lock()
+	g.routers[name] = e
+	g.mu.Unlock()
+	return func() {
+		g.mu.Lock()
+		if g.routers[name] == e {
+			delete(g.routers, name)
+		}
+		g.mu.Unlock()
+	}
+}
+
 // snapshot returns the live entries sorted by name for deterministic output.
 func (g *Registry) snapshot() []*entry {
 	g.mu.Lock()
 	out := make([]*entry, 0, len(g.entries))
 	for _, e := range g.entries {
+		out = append(out, e)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// routerSnapshot returns the live router entries sorted by name.
+func (g *Registry) routerSnapshot() []*routerEntry {
+	g.mu.Lock()
+	out := make([]*routerEntry, 0, len(g.routers))
+	for _, e := range g.routers {
 		out = append(out, e)
 	}
 	g.mu.Unlock()
@@ -182,6 +220,10 @@ func writeMetrics(w io.Writer, reg *Registry) {
 		func(s repSample) int64 { return s.stats.Lease.Requested })
 	counter("alc_lease_reuses_total", "Commits served by an already-held lease.",
 		func(s repSample) int64 { return s.stats.Lease.Reused })
+	counter("alc_lease_acquired_total", "Fresh lease acquisitions that reached enablement (one OAB each).",
+		func(s repSample) int64 { return s.stats.Lease.Acquired })
+	counter("alc_lease_stolen_total", "Enabled local leases lost to a remote request.",
+		func(s repSample) int64 { return s.stats.Lease.Stolen })
 	counter("alc_lease_frees_total", "Lease requests released by this replica.",
 		func(s repSample) int64 { return s.stats.Lease.Freed })
 	counter("alc_lease_deadlocks_total", "Local deadlock victims.",
@@ -202,6 +244,46 @@ func writeMetrics(w io.Writer, reg *Registry) {
 		func(s repSample) int64 { return s.stats.STM.GCRuns })
 	counter("alc_stm_gc_pruned_total", "Versions discarded by store GC.",
 		func(s repSample) int64 { return s.stats.STM.GCPruned })
+	counter("alc_migrated_in_total", "Transactions shipped here by a remote router.",
+		func(s repSample) int64 { return s.stats.MigratedIn })
+
+	fmt.Fprintf(w, "# HELP alc_lease_reuse_ratio Fraction of lease establishments served by a retained lease (the routing win metric).\n# TYPE alc_lease_reuse_ratio gauge\n")
+	for _, s := range samples {
+		fmt.Fprintf(w, "alc_lease_reuse_ratio{replica=%q} %s\n", s.name,
+			strconv.FormatFloat(s.stats.Lease.ReuseRate(), 'g', -1, 64))
+	}
+
+	routers := reg.routerSnapshot()
+	if len(routers) > 0 {
+		type routerSample struct {
+			name  string
+			stats route.Stats
+		}
+		var rs []routerSample
+		for _, e := range routers {
+			if r := e.get(); r != nil {
+				rs = append(rs, routerSample{name: e.name, stats: r.Stats()})
+			}
+		}
+		fmt.Fprintf(w, "# HELP alc_route_decisions_total Routing decisions by kind.\n# TYPE alc_route_decisions_total counter\n")
+		for _, s := range rs {
+			fmt.Fprintf(w, "alc_route_decisions_total{router=%q,decision=\"affinity\"} %d\n", s.name, s.stats.Affinity)
+			fmt.Fprintf(w, "alc_route_decisions_total{router=%q,decision=\"rendezvous\"} %d\n", s.name, s.stats.Rendezvous)
+			fmt.Fprintf(w, "alc_route_decisions_total{router=%q,decision=\"local\"} %d\n", s.name, s.stats.Local)
+		}
+		fmt.Fprintf(w, "# HELP alc_route_updates_total Affinity-map entry writes applied from the trace stream.\n# TYPE alc_route_updates_total counter\n")
+		for _, s := range rs {
+			fmt.Fprintf(w, "alc_route_updates_total{router=%q} %d\n", s.name, s.stats.Updates)
+		}
+		fmt.Fprintf(w, "# HELP alc_route_evictions_total Affinity entries dropped for dead or reborn owners.\n# TYPE alc_route_evictions_total counter\n")
+		for _, s := range rs {
+			fmt.Fprintf(w, "alc_route_evictions_total{router=%q} %d\n", s.name, s.stats.Evictions)
+		}
+		fmt.Fprintf(w, "# HELP alc_route_tracked_classes Conflict classes with a live affinity owner.\n# TYPE alc_route_tracked_classes gauge\n")
+		for _, s := range rs {
+			fmt.Fprintf(w, "alc_route_tracked_classes{router=%q} %d\n", s.name, s.stats.Tracked)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP alc_in_primary Whether the replica is in the primary component.\n# TYPE alc_in_primary gauge\n")
 	for _, s := range samples {
@@ -324,9 +406,16 @@ func summarize(s metrics.HistogramSnapshot) HistSummary {
 }
 
 // DebugView is the /debug/alc document: one DebugReplica per registered,
-// live replica.
+// live replica, plus one DebugRouter per routed cluster.
 type DebugView struct {
 	Replicas []DebugReplica `json:"replicas"`
+	Routers  []DebugRouter  `json:"routers,omitempty"`
+}
+
+// DebugRouter is one transaction router's snapshot.
+type DebugRouter struct {
+	Name  string      `json:"name"`
+	Stats route.Stats `json:"stats"`
 }
 
 // DebugReplica is one replica's introspection snapshot.
@@ -353,15 +442,19 @@ type ViewInfo struct {
 
 // Counters are the replica's protocol totals.
 type Counters struct {
-	Commits        int64 `json:"commits"`
-	Aborts         int64 `json:"aborts"`
-	ReadOnly       int64 `json:"read_only"`
-	LeaseRequests  int64 `json:"lease_requests"`
-	LeaseReuses    int64 `json:"lease_reuses"`
-	LeaseFrees     int64 `json:"lease_frees"`
-	LeaseDeadlocks int64 `json:"lease_deadlocks"`
-	Batches        int64 `json:"batches"`
-	BatchedTxns    int64 `json:"batched_txns"`
+	Commits        int64   `json:"commits"`
+	Aborts         int64   `json:"aborts"`
+	ReadOnly       int64   `json:"read_only"`
+	MigratedIn     int64   `json:"migrated_in"`
+	LeaseRequests  int64   `json:"lease_requests"`
+	LeaseReuses    int64   `json:"lease_reuses"`
+	LeaseAcquired  int64   `json:"lease_acquired"`
+	LeaseStolen    int64   `json:"lease_stolen"`
+	LeaseReuseRate float64 `json:"lease_reuse_rate"`
+	LeaseFrees     int64   `json:"lease_frees"`
+	LeaseDeadlocks int64   `json:"lease_deadlocks"`
+	Batches        int64   `json:"batches"`
+	BatchedTxns    int64   `json:"batched_txns"`
 }
 
 // StoreInfo summarizes the local multi-version store and its commit
@@ -400,8 +493,12 @@ func debugView(reg *Registry) DebugView {
 				Commits:        s.Commits,
 				Aborts:         s.Aborts,
 				ReadOnly:       s.ReadOnly,
+				MigratedIn:     s.MigratedIn,
 				LeaseRequests:  s.Lease.Requested,
 				LeaseReuses:    s.Lease.Reused,
+				LeaseAcquired:  s.Lease.Acquired,
+				LeaseStolen:    s.Lease.Stolen,
+				LeaseReuseRate: s.Lease.ReuseRate(),
 				LeaseFrees:     s.Lease.Freed,
 				LeaseDeadlocks: s.Lease.Deadlocks,
 				Batches:        s.Batch.Batches,
@@ -432,6 +529,13 @@ func debugView(reg *Registry) DebugView {
 				GCPruned:         s.STM.GCPruned,
 			},
 		})
+	}
+	for _, e := range reg.routerSnapshot() {
+		r := e.get()
+		if r == nil {
+			continue
+		}
+		v.Routers = append(v.Routers, DebugRouter{Name: e.name, Stats: r.Stats()})
 	}
 	return v
 }

@@ -356,6 +356,107 @@ func TestStageCoherence(t *testing.T) {
 	}
 }
 
+// TestRoutingMetrics drives a routed cluster and asserts the lease-outcome
+// and router families appear in the exposition: the lease reuse rate — the
+// routing win metric — must be observable without the bench harness.
+func TestRoutingMetrics(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		N:     3,
+		Core:  core.Config{Protocol: core.ProtocolALC},
+		Net:   memnet.Config{Latency: 300 * time.Microsecond},
+		GCS:   testGCS(),
+		Seed:  map[string]stm.Value{"hot": 0},
+		Route: true,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+
+	reg := obs.NewRegistry()
+	for i := 0; i < c.N(); i++ {
+		i := i
+		reg.Register(fmt.Sprintf("r%d", i), func() *core.Replica { return c.Replica(i) })
+	}
+	reg.RegisterRouter("c", c.Router)
+	srv, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("obs.Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	for i := 0; i < 30; i++ {
+		for origin := 0; origin < c.N(); origin++ {
+			if err := c.Submit(origin, []string{"hot"}, func(tx *stm.Txn) error {
+				v, err := tx.Read("hot")
+				if err != nil {
+					return err
+				}
+				return tx.Write("hot", v.(int)+1)
+			}); err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+		}
+	}
+
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	types, samples := parseProm(t, body)
+	for fam, typ := range map[string]string{
+		"alc_lease_acquired_total":  "counter",
+		"alc_lease_stolen_total":    "counter",
+		"alc_migrated_in_total":     "counter",
+		"alc_lease_reuse_ratio":     "gauge",
+		"alc_route_decisions_total": "counter",
+		"alc_route_updates_total":   "counter",
+		"alc_route_evictions_total": "counter",
+		"alc_route_tracked_classes": "gauge",
+	} {
+		if types[fam] != typ {
+			t.Fatalf("family %s: type %q, want %q (families: %v)", fam, types[fam], typ, types)
+		}
+	}
+
+	sum := func(name string, labels map[string]string) (total float64, found bool) {
+		for _, s := range samples {
+			if s.name != name {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				total += s.value
+				found = true
+			}
+		}
+		return total, found
+	}
+	if v, ok := sum("alc_migrated_in_total", nil); !ok || v == 0 {
+		t.Fatalf("alc_migrated_in_total = %v (found %v), want > 0", v, ok)
+	}
+	if v, ok := sum("alc_route_decisions_total", map[string]string{"router": "c", "decision": "affinity"}); !ok || v == 0 {
+		t.Fatalf("affinity decisions = %v (found %v), want > 0", v, ok)
+	}
+	// The hot class settled on one owner: that replica's scrape-time reuse
+	// ratio must be high.
+	best := 0.0
+	for i := 0; i < c.N(); i++ {
+		if v, ok := sum("alc_lease_reuse_ratio", map[string]string{"replica": fmt.Sprintf("r%d", i)}); ok && v > best {
+			best = v
+		}
+	}
+	if best < 0.5 {
+		t.Fatalf("max alc_lease_reuse_ratio = %v, want >= 0.5", best)
+	}
+}
+
 // TestRegistryCancel verifies cancel removes exactly the registered entry
 // and that re-registering a name supersedes the old getter.
 func TestRegistryCancel(t *testing.T) {

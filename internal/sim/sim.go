@@ -32,6 +32,18 @@ type Config struct {
 	// MaxRetries bounds re-executions per transaction so a run cannot hang
 	// on livelock. Default 64.
 	MaxRetries int
+	// Routed submits load through the locality-aware router (Cluster.Submit
+	// with each transaction's declared item set) instead of pinning every
+	// thread to its own replica, so the run exercises transaction migration,
+	// affinity-map staleness, and re-routing across crashes and partitions.
+	// Workloads that cannot declare item sets up front (sortedset, vacation)
+	// fall back to origin execution even when Routed is set.
+	Routed bool
+	// Schedule, when non-nil, overrides the seed expansion: the run executes
+	// exactly this fault timeline (Replicas is taken from the schedule). Used
+	// by tests that need a specific scenario — e.g. an owner crash under
+	// routed traffic — still certified by the history checker.
+	Schedule *Schedule
 	// Logf, when non-nil, receives verbose event tracing (schedule, failure
 	// events, phase transitions) — the cmd/alc-sim replay surface.
 	Logf func(format string, args ...any)
@@ -67,6 +79,10 @@ type Result struct {
 	Commits  int
 	Failures int
 	Invoked  int64
+	// Migrated counts transactions that executed on a replica other than
+	// their origin (nonzero only in Routed runs; counted across surviving
+	// replicas at quiesce).
+	Migrated int64
 	// Verdict is the offline checker's judgement of the recorded history.
 	Verdict history.Verdict
 	// InvariantErr is a workload invariant violation observed at the witness
@@ -112,7 +128,13 @@ func Run(cfg Config) *Result {
 	}
 	res := &Result{Seed: cfg.Seed}
 
-	sched := Generate(cfg.Seed, cfg.Replicas, cfg.Load)
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = Generate(cfg.Seed, cfg.Replicas, cfg.Load)
+	} else {
+		cfg.Replicas = sched.Replicas
+		res.Seed = sched.Seed
+	}
 	res.Schedule = sched
 	logf("schedule: %s", sched)
 
@@ -125,7 +147,8 @@ func Run(cfg Config) *Result {
 	tracer.Attach(recorder)
 
 	c, err := cluster.New(cluster.Config{
-		N: cfg.Replicas,
+		N:     cfg.Replicas,
+		Route: cfg.Routed,
 		Core: core.Config{
 			Protocol: core.ProtocolALC,
 			// Automatic GC off: the checker needs full version histories at
@@ -183,13 +206,20 @@ func Run(cfg Config) *Result {
 						return
 					default:
 					}
-					r := c.Replica(ri)
-					if r == nil {
-						time.Sleep(5 * time.Millisecond) // crashed: wait for restart
-						continue
+					var err error
+					if items := w.items(ri, ti); cfg.Routed && items != nil {
+						// Routed: Submit migrates the transaction wherever the
+						// affinity map points; a crashed origin's threads keep
+						// flowing through the surviving replicas.
+						err = c.Submit(ri, items, w.op(rng, ri, ti, round))
+					} else {
+						r := c.Replica(ri)
+						if r == nil {
+							time.Sleep(5 * time.Millisecond) // crashed: wait for restart
+							continue
+						}
+						err = r.Atomic(w.op(rng, ri, ti, round))
 					}
-					op := w.op(rng, ri, ti, round)
-					err := r.Atomic(op)
 					switch {
 					case err == nil:
 					case errors.Is(err, core.ErrEjected),
@@ -291,6 +321,7 @@ func Run(cfg Config) *Result {
 	}
 
 	// Collect and check.
+	res.Migrated = c.TotalStats().MigratedIn
 	res.Commits = len(recorder.Commits())
 	res.Failures = len(recorder.Failures())
 	res.Invoked = recorder.Invoked()

@@ -19,6 +19,10 @@ type workload interface {
 	// the thread's private generator; op must draw a deterministic number of
 	// values from it per call.
 	op(rng *rand.Rand, replica, thread, round int) func(*stm.Txn) error
+	// items returns the declared item set every op of (replica, thread)
+	// touches, or nil when the workload cannot declare it up front (the
+	// routed harness then executes at the origin).
+	items(replica, thread int) []string
 	// check validates the workload invariant in one read-only transaction.
 	check(tx *stm.Txn) error
 }
@@ -69,6 +73,8 @@ func (b *bankWorkload) op(_ *rand.Rand, replica, thread, round int) func(*stm.Tx
 	return b.w.TransferAt(replica, thread, round)
 }
 
+func (b *bankWorkload) items(replica, thread int) []string { return b.w.Items(replica, thread) }
+
 func (b *bankWorkload) check(tx *stm.Txn) error { return b.w.CheckInvariant(tx) }
 
 type setWorkload struct {
@@ -103,6 +109,8 @@ func (s *setWorkload) op(rng *rand.Rand, _, _, _ int) func(*stm.Txn) error {
 	}
 }
 
+func (s *setWorkload) items(int, int) []string { return nil }
+
 func (s *setWorkload) check(tx *stm.Txn) error { return s.set.CheckInvariants(tx) }
 
 type vacWorkload struct {
@@ -129,6 +137,8 @@ func (v *vacWorkload) op(rng *rand.Rand, _, _, _ int) func(*stm.Txn) error {
 		return adapt(v.db.MakeReservation(cust, kind, candidates, &booked))
 	}
 }
+
+func (v *vacWorkload) items(int, int) []string { return nil }
 
 func (v *vacWorkload) check(tx *stm.Txn) error { return v.db.CheckInvariant(tx) }
 
