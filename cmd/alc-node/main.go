@@ -46,11 +46,15 @@ func main() {
 
 func run() error {
 	var (
-		id       = flag.Int("id", -1, "this replica's ID")
-		peers    = flag.String("peers", "", "comma-separated id=host:port list for every replica")
-		protocol = flag.String("protocol", "alc", "alc or cert")
-		join     = flag.Bool("join", false, "rejoin a running group via state transfer")
-		httpAddr = flag.String("http", "", "serve /metrics, /debug/alc and /debug/pprof on this address (e.g. :8080)")
+		id        = flag.Int("id", -1, "this replica's ID")
+		peers     = flag.String("peers", "", "comma-separated id=host:port list for every replica")
+		protocol  = flag.String("protocol", "alc", "alc or cert")
+		join      = flag.Bool("join", false, "rejoin a running group via state transfer")
+		httpAddr  = flag.String("http", "", "serve /metrics, /debug/alc and /debug/pprof on this address (e.g. :8080)")
+		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and store snapshots (empty = no durability)")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval or off")
+		fsyncInt  = flag.Duration("fsync-interval", 5*time.Millisecond, "fsync cadence under -fsync=interval")
+		snapEvery = flag.Int("snapshot-every", 0, "take a store snapshot and truncate the WAL every N applied write-sets (0 = default 4096, negative = never)")
 	)
 	flag.Parse()
 	if *id < 0 || *peers == "" {
@@ -80,6 +84,12 @@ func run() error {
 	replica, err := core.NewReplica(tr, core.Config{
 		Protocol: proto,
 		Lease:    lease.Config{OptimisticFree: true, DeadlockDetection: true},
+		Durability: core.DurabilityConfig{
+			Dir:           *dataDir,
+			Fsync:         *fsync,
+			FsyncInterval: *fsyncInt,
+			SnapshotEvery: *snapEvery,
+		},
 	}, gcs.Config{
 		Members:    members,
 		Joining:    *join,
@@ -89,6 +99,12 @@ func run() error {
 		return err
 	}
 	defer replica.Close()
+
+	if *dataDir != "" {
+		ws := replica.Stats().WAL
+		fmt.Printf("durability on: %s (fsync=%s); recovered snapshot=%t, %d WAL records (%d entries) in %v\n",
+			*dataDir, *fsync, ws.RecoveredFromSnapshot, ws.ReplayedRecords, ws.ReplayedEntries, ws.ReplayDuration)
+	}
 
 	if *httpAddr != "" {
 		obs.Default.Register(fmt.Sprintf("node-%d", *id),
@@ -124,6 +140,11 @@ func run() error {
 			s := replica.Stats()
 			fmt.Printf("commits=%d aborts=%d readonly=%d leaseReqs=%d leaseReuse=%d\n",
 				s.Commits, s.Aborts, s.ReadOnly, s.Lease.Requested, s.Lease.Reused)
+			if s.WAL.Enabled {
+				fmt.Printf("wal: records=%d bytes=%d snapshots=%d retained=%d deltasServed=%d fullsServed=%d\n",
+					s.WAL.Records, s.WAL.AppendedBytes, s.WAL.Snapshots,
+					s.WAL.RetainedEntries, s.WAL.DeltasServed, s.WAL.FullsServed)
+			}
 		case "dump":
 			fmt.Printf("view: %v  primary: %t\n", replica.GCS().CurrentView(), replica.InPrimary())
 			fmt.Printf("store: %d boxes, clock %d, %d active txns\n",

@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,11 @@ type Config struct {
 	// lease-affinity map says already holds its leases. Requires a tracer to
 	// feed the map; when Core.Tracer is nil one is created internally.
 	Route bool
+	// Durability enables the WAL + snapshot tier. Dir is a cluster root:
+	// replica i persists under Dir/r<i>, so a Restart recovers locally and
+	// rejoins via a delta state transfer instead of the full snapshot. The
+	// remaining fields pass through to every replica.
+	Durability core.DurabilityConfig
 }
 
 // Cluster is a running set of replicas over one simulated network. All
@@ -136,7 +142,12 @@ func (c *Cluster) startReplica(i int, joining bool) (*core.Replica, error) {
 	gcsCfg.Members = c.ids
 	gcsCfg.Joining = joining
 	gcsCfg.AutoRejoin = true
-	r, err := core.NewReplica(tr, c.cfg.Core, gcsCfg)
+	coreCfg := c.cfg.Core
+	if c.cfg.Durability.Dir != "" {
+		coreCfg.Durability = c.cfg.Durability
+		coreCfg.Durability.Dir = filepath.Join(c.cfg.Durability.Dir, fmt.Sprintf("r%d", i))
+	}
+	r, err := core.NewReplica(tr, coreCfg, gcsCfg)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 	}

@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/memnet"
+	"github.com/alcstm/alc/internal/stm"
+)
+
+func init() {
+	// The WAL gob-encodes box values even over the in-memory transport.
+	core.RegisterValue(0)
+	core.RegisterValue([]byte(nil))
+}
+
+// newDurableCluster builds a cluster persisting under a fresh temp root.
+func newDurableCluster(t *testing.T, n int, dur core.DurabilityConfig) (*Cluster, string) {
+	t.Helper()
+	root := t.TempDir()
+	dur.Dir = root
+	if dur.Fsync == "" {
+		// Process-crash durability is what these tests exercise; skipping
+		// fsync keeps them fast without weakening what they prove.
+		dur.Fsync = "off"
+	}
+	c, err := New(Config{
+		N:          n,
+		Core:       core.Config{Protocol: core.ProtocolALC, GCEvery: -1},
+		Net:        memnet.Config{Latency: 500 * time.Microsecond},
+		GCS:        testGCS(),
+		Seed:       map[string]stm.Value{"counter": 0, "a": 0, "b": 0},
+		Durability: dur,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c, root
+}
+
+// commitN applies n serial increments spread across the live replicas.
+func commitN(t *testing.T, c *Cluster, box string, n int) {
+	t.Helper()
+	live := c.Replicas()
+	for i := 0; i < n; i++ {
+		r := live[i%len(live)]
+		if err := r.Atomic(increment(box)); err != nil {
+			t.Fatalf("increment %d on replica %d: %v", i, r.ID(), err)
+		}
+	}
+}
+
+// waitRejoined blocks until replica i is back in the primary component.
+func waitRejoined(t *testing.T, c *Cluster, i int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if r := c.Replica(i); r != nil && r.InPrimary() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %d never rejoined the primary component", i)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDurableRestartDeltaTransfer is the tentpole scenario: a crashed
+// replica recovers from its snapshot + WAL locally and rejoins through a
+// delta state transfer — the coordinator ships only the commit suffix, never
+// the full StateSnapshot.
+func TestDurableRestartDeltaTransfer(t *testing.T) {
+	c, _ := newDurableCluster(t, 3, core.DurabilityConfig{})
+	commitN(t, c, "counter", 50)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash(2)
+	commitN(t, c, "counter", 30)
+
+	if err := c.Restart(2); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	waitRejoined(t, c, 2)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := c.Replica(2)
+	s2 := r2.Stats().WAL
+	if !s2.RecoveredFromSnapshot {
+		t.Errorf("restarted replica did not recover from its snapshot")
+	}
+	if s2.ReplayedEntries == 0 {
+		t.Errorf("restarted replica replayed no WAL entries")
+	}
+	if s2.DeltaInstalled == 0 {
+		t.Errorf("restarted replica installed no delta (stats: %+v)", s2)
+	}
+	if s2.FullInstalled != 0 {
+		t.Errorf("restarted replica took a full state transfer despite local recovery (stats: %+v)", s2)
+	}
+	s0 := c.Replica(0).Stats().WAL
+	if s0.DeltasServed == 0 {
+		t.Errorf("coordinator served no delta (stats: %+v)", s0)
+	}
+	if s0.FullsServed != 0 {
+		t.Errorf("coordinator captured a full StateSnapshot for a delta-eligible joiner (stats: %+v)", s0)
+	}
+
+	if got := readBox(t, r2, "counter"); got != 80 {
+		t.Fatalf("recovered replica: counter = %v, want 80", got)
+	}
+	if diff := c.CheckHistories(); diff != "" {
+		t.Fatalf("history divergence after delta rejoin: %s", diff)
+	}
+	if s2.Errors != 0 || s0.Errors != 0 {
+		t.Errorf("durability errors: joiner=%d coordinator=%d", s2.Errors, s0.Errors)
+	}
+}
+
+// TestDurableDeltaSmallerThanFull compares the two transfer paths on the
+// same cluster: the delta a recovered replica receives must be measurably
+// smaller than the full snapshot a stateless replica receives.
+func TestDurableDeltaSmallerThanFull(t *testing.T) {
+	c, root := newDurableCluster(t, 3, core.DurabilityConfig{})
+	// Give the store real bulk so a full snapshot is much bigger than a
+	// short commit suffix.
+	bulk := make([]byte, 256)
+	for i := range bulk {
+		bulk[i] = byte(i)
+	}
+	for i := 0; i < 32; i++ {
+		box := fmt.Sprintf("bulk%02d", i)
+		if err := c.Replica(0).Atomic(func(tx *stm.Txn) error {
+			return tx.Write(box, bulk)
+		}); err != nil {
+			t.Fatalf("bulk write %s: %v", box, err)
+		}
+	}
+	commitN(t, c, "counter", 60)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 1: crash, short gap, restart with state → delta.
+	c.Crash(2)
+	commitN(t, c, "counter", 10)
+	if err := c.Restart(2); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	waitRejoined(t, c, 2)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deltaBytes := c.Replica(0).Stats().WAL.LastDeltaBytes
+	if deltaBytes == 0 {
+		t.Fatalf("no delta transfer recorded (coordinator stats: %+v)", c.Replica(0).Stats().WAL)
+	}
+
+	// Round 2: crash and wipe the durability directory → stateless restart,
+	// full transfer.
+	c.Crash(2)
+	commitN(t, c, "counter", 10)
+	if err := os.RemoveAll(filepath.Join(root, "r2")); err != nil {
+		t.Fatalf("wipe r2 state: %v", err)
+	}
+	if err := c.Restart(2); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	waitRejoined(t, c, 2)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s0 := c.Replica(0).Stats().WAL
+	if s0.FullsServed == 0 || s0.LastFullBytes == 0 {
+		t.Fatalf("stateless restart did not take a full transfer (coordinator stats: %+v)", s0)
+	}
+	if s2 := c.Replica(2).Stats().WAL; s2.FullInstalled == 0 {
+		t.Fatalf("restarted replica did not record the full install (stats: %+v)", s2)
+	}
+
+	if deltaBytes >= s0.LastFullBytes {
+		t.Fatalf("delta transfer (%d bytes) not smaller than full snapshot (%d bytes)",
+			deltaBytes, s0.LastFullBytes)
+	}
+	if got := readBox(t, c.Replica(2), "counter"); got != 80 {
+		t.Fatalf("counter = %v, want 80", got)
+	}
+}
+
+// TestDurableFallbackWhenGapOutrunsRetention: a joiner whose missing suffix
+// exceeds the coordinator's retained delta window must get a full transfer,
+// and still converge.
+func TestDurableFallbackWhenGapOutrunsRetention(t *testing.T) {
+	c, _ := newDurableCluster(t, 3, core.DurabilityConfig{Retain: 8})
+	commitN(t, c, "counter", 20)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash(2)
+	commitN(t, c, "counter", 40) // gap of 40 > retention of 8
+
+	if err := c.Restart(2); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	waitRejoined(t, c, 2)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	s0 := c.Replica(0).Stats().WAL
+	if s0.FullsServed == 0 {
+		t.Errorf("coordinator never fell back to a full transfer (stats: %+v)", s0)
+	}
+	s2 := c.Replica(2).Stats().WAL
+	if s2.FullInstalled == 0 {
+		t.Errorf("joiner did not install the full snapshot (stats: %+v)", s2)
+	}
+	if s2.DeltaInstalled != 0 {
+		t.Errorf("joiner installed a delta across a gap wider than retention (stats: %+v)", s2)
+	}
+	if got := readBox(t, c.Replica(2), "counter"); got != 60 {
+		t.Fatalf("counter = %v, want 60", got)
+	}
+	if diff := c.CheckHistories(); diff != "" {
+		t.Fatalf("history divergence after fallback: %s", diff)
+	}
+}
+
+// TestDurableRestartWithoutSnapshotReplaysLog: recovery must work from the
+// WAL alone when no snapshot was ever taken (no seed: boxes are created by
+// transactions, so every version is in the log).
+func TestDurableRestartWithoutSnapshotReplaysLog(t *testing.T) {
+	root := t.TempDir()
+	c, err := New(Config{
+		N:          3,
+		Core:       core.Config{Protocol: core.ProtocolALC, GCEvery: -1},
+		Net:        memnet.Config{Latency: 500 * time.Microsecond},
+		GCS:        testGCS(),
+		Durability: core.DurabilityConfig{Dir: root, Fsync: "off"},
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+
+	// Create the box transactionally so it travels in a write-set.
+	if err := c.Replica(0).Atomic(func(tx *stm.Txn) error {
+		return tx.Write("made", 1)
+	}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	commitN(t, c, "made", 25)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Crash(2)
+	commitN(t, c, "made", 5)
+	if err := c.Restart(2); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	waitRejoined(t, c, 2)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := c.Replica(2).Stats().WAL
+	if s2.RecoveredFromSnapshot {
+		t.Errorf("unexpected snapshot recovery (none was taken)")
+	}
+	if s2.ReplayedEntries == 0 {
+		t.Errorf("no WAL entries replayed (stats: %+v)", s2)
+	}
+	if s2.DeltaInstalled == 0 || s2.FullInstalled != 0 {
+		t.Errorf("log-only recovery should still rejoin via delta (stats: %+v)", s2)
+	}
+	if got := readBox(t, c.Replica(2), "made"); got != 31 {
+		t.Fatalf("made = %v, want 31", got)
+	}
+}

@@ -108,9 +108,13 @@ func (r *Replica) atomicCert(fn func(*stm.Txn) error) error {
 func (r *Replica) certApply(m *certMsg) {
 	valid := r.certValidate(m)
 	if valid {
-		ts := r.store.ApplyWriteSet(m.TxnID, m.WS)
-		r.certLog.append(ts, m.WS.BoxIDs())
-		r.maybeGC()
+		// Durability filter first (log-before-install); a CERT commit the
+		// store already absorbed (delta install overlap) is skipped whole.
+		if fresh := r.dur.append([]applyWSEntry{{TxnID: m.TxnID, WS: m.WS}}); len(fresh) > 0 {
+			ts := r.store.ApplyWriteSet(m.TxnID, m.WS)
+			r.certLog.append(ts, m.WS.BoxIDs())
+			r.maybeGC()
+		}
 	}
 	if m.TxnID.Replica == r.id {
 		if valid {

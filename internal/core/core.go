@@ -103,6 +103,10 @@ type Config struct {
 	// Batch tunes the group-commit coalescer and the parallel apply stage
 	// (ALC only; CERT applies in the total order, on the dispatcher).
 	Batch BatchConfig
+	// Durability configures the write-ahead log + snapshot tier and the
+	// delta state-transfer window (see DurabilityConfig). The zero value
+	// keeps the replica memory-only but still able to serve deltas.
+	Durability DurabilityConfig
 	// Tracer, when non-nil, receives the replica's protocol events:
 	// per-transaction lifecycle (invoke/commit/terminal failure, consumed by
 	// the offline history checker via a trace.Sink) and lease-manager state
@@ -147,6 +151,9 @@ type Stats struct {
 	// STM is the local store's commit-pipeline counters: applied write-sets,
 	// commit-stripe contention, clock-publication waits, GC work.
 	STM stm.Stats
+	// WAL is the durability tier: log appends, fsyncs, snapshots, recovery
+	// replay, and delta/full state transfers in both directions.
+	WAL WALStats
 }
 
 // StageStats decomposes the update-commit path into its pipeline stages, one
@@ -251,6 +258,10 @@ type Replica struct {
 	// CERT deterministic validation log.
 	certLog *certLog
 
+	// Durability tier: applied-frontier tracking + delta window (always),
+	// WAL + snapshots (when configured with a directory).
+	dur *durable
+
 	txnSeq  atomic.Uint64
 	applies atomic.Int64 // applied write-sets since the last automatic GC
 	gcMu    sync.Mutex   // keeps version-history collections serial
@@ -307,6 +318,21 @@ func NewReplica(tr transport.Transport, cfg Config, gcsCfg gcs.Config) (*Replica
 	}
 	r.viewCond = sync.NewCond(&r.viewMu)
 	r.primary.Store(!gcsCfg.Joining)
+
+	// Durability: recover the store from snapshot + WAL (if a directory is
+	// configured and holds state) before the endpoint exists — the recovered
+	// frontier is what the joinReq will advertise for a delta transfer.
+	dur, err := newDurable(cfg.Durability, r.store)
+	if err != nil {
+		return nil, err
+	}
+	r.dur = dur
+	if !gcsCfg.Joining {
+		// An initial member's store is complete by definition (empty or
+		// seeded, never behind the group), so its frontier is advertisable.
+		r.dur.markComplete()
+	}
+	gcsCfg.JoinFrontier = r.dur.advertise
 
 	ep, err := gcs.NewEndpoint(tr, (*gcsHandler)(r), gcsCfg)
 	if err != nil {
@@ -377,6 +403,7 @@ func (r *Replica) Stats() Stats {
 	s.Queues.LeaseWaiters = s.Lease.Waiting
 	s.Queues.GCS = r.gcsEP.QueueStats()
 	s.STM = r.store.Stats()
+	s.WAL = r.dur.stats()
 	return s
 }
 
@@ -413,16 +440,24 @@ func (r *Replica) Close() error {
 		// workers finish the queue and terminate.
 		r.sched.close()
 	}
+	// After dispatcher and workers are gone nothing appends: final fsync.
+	r.dur.close()
 	return err
 }
 
 // Seed initializes boxes directly in the local store, before the replica
 // starts processing transactions. Every replica must be seeded identically.
+// With durability enabled, the seeded state becomes the baseline snapshot:
+// seeded boxes are created outside any write-set, so the WAL alone could
+// never reconstruct them after a crash.
 func (r *Replica) Seed(values map[string]stm.Value) error {
 	for id, v := range values {
 		if _, err := r.store.CreateBox(id, v); err != nil {
 			return err
 		}
+	}
+	if len(values) > 0 {
+		r.dur.snapshot(r.store)
 	}
 	return nil
 }

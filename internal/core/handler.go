@@ -41,6 +41,7 @@ func (h *gcsHandler) OnTODeliver(from transport.ID, body any) {
 	case *certMsg:
 		r.certApply(m)
 	}
+	r.maybeDurableSnapshot()
 }
 
 // OnURDeliver routes causally ordered messages: write-set applications and
@@ -58,6 +59,19 @@ func (h *gcsHandler) OnURDeliver(from transport.ID, body any) {
 		r.drainApplies()
 		r.lm.HandleFreed(m)
 	}
+	r.maybeDurableSnapshot()
+}
+
+// maybeDurableSnapshot runs the periodic durable snapshot on the dispatcher,
+// behind the apply barrier: with no applier in flight the store content and
+// the applied frontier describe exactly the same state, which is the
+// invariant the snapshot file encodes.
+func (r *Replica) maybeDurableSnapshot() {
+	if !r.dur.wantSnap.Load() {
+		return
+	}
+	r.drainApplies()
+	r.dur.maybeSnapshot(r.store)
 }
 
 // OnViewChange installs the new membership.
@@ -101,28 +115,73 @@ func (h *gcsHandler) OnEjected() {
 func (h *gcsHandler) StateSnapshot() any {
 	r := h.rep()
 	r.drainApplies()
-	return &xferState{
-		Store:   r.store.Snapshot(),
+	st := &xferState{
+		Store:    r.store.Snapshot(),
+		Leases:   r.lm.SnapshotState(),
+		CertLog:  r.certLog.snapshot(),
+		Frontier: r.dur.advertise(),
+	}
+	r.dur.fullsServed.Inc()
+	r.dur.lastFullBytes.Store(encodedSize(any(st)))
+	return st
+}
+
+// StateDelta serves an incremental state transfer for a joiner that
+// advertised applied frontier f: only the write-set entries past f, plus the
+// (small) lease table and CERT window. ok=false when the joiner's gap
+// outruns the retained delta window or its frontier is incomparable — the
+// caller then falls back to StateSnapshot. Runs on the GCS dispatcher
+// (gcs.DeltaProvider).
+func (h *gcsHandler) StateDelta(f map[transport.ID]uint64) (any, bool) {
+	r := h.rep()
+	r.drainApplies()
+	entries, ok := r.dur.delta(f)
+	if !ok {
+		return nil, false
+	}
+	st := &xferDelta{
+		Entries: entries,
 		Leases:  r.lm.SnapshotState(),
 		CertLog: r.certLog.snapshot(),
 	}
+	r.dur.deltasServed.Inc()
+	r.dur.lastDeltaBytes.Store(encodedSize(any(st)))
+	return st, true
 }
 
-// InstallState adopts a transferred application state (joining replica).
+// InstallState adopts a transferred application state (joining replica):
+// either the full snapshot or, when this replica advertised a usable applied
+// frontier, just the missing write-set suffix applied on top of the locally
+// recovered state.
 func (h *gcsHandler) InstallState(state any) {
-	st, ok := state.(*xferState)
-	if !ok {
-		return
-	}
 	r := h.rep()
-	r.drainApplies()
-	// Anything still queued locally predates the transferred state and is
-	// void (the joiner's waiters were already failed at ejection).
-	r.coal.fail(ErrEjected)
-	r.inflight.reset()
-	r.store.Restore(st.Store)
-	r.lm.InstallState(st.Leases)
-	r.certLog.restore(st.CertLog)
+	switch st := state.(type) {
+	case *xferState:
+		r.drainApplies()
+		// Anything still queued locally predates the transferred state and is
+		// void (the joiner's waiters were already failed at ejection).
+		r.coal.fail(ErrEjected)
+		r.inflight.reset()
+		r.store.Restore(st.Store)
+		r.lm.InstallState(st.Leases)
+		r.certLog.restore(st.CertLog)
+		r.dur.installFull(st.Frontier, r.store)
+	case *xferDelta:
+		r.drainApplies()
+		r.coal.fail(ErrEjected)
+		r.inflight.reset()
+		// applyEntries runs the normal apply path: the durability filter
+		// drops entries this store already absorbed (the advertised frontier
+		// can be stale — an ejected replica keeps applying URB deliveries
+		// after its joinReq went out), the survivors are WAL-logged, applied,
+		// and retained for onward deltas.
+		if len(st.Entries) > 0 {
+			r.applyEntries(st.Entries, false)
+		}
+		r.lm.InstallState(st.Leases)
+		r.certLog.restore(st.CertLog)
+		r.dur.deltaInstalled.Inc()
+	}
 }
 
 // drainApplies blocks the dispatcher until the apply stage has executed
@@ -162,22 +221,30 @@ func (r *Replica) enqueueApply(from transport.ID, entries []applyWSEntry, fromBa
 
 // applyEntries installs a delivered batch under one acquisition of the
 // union of its commit stripes and resolves the local waiters it carries.
+// The durability tier sees the batch FIRST: it filters out entries the store
+// already absorbed (idempotence across delta installs and stale-frontier
+// overlaps), logs the survivors, and only those reach the store — but local
+// waiters are resolved for every entry addressed to us, filtered or not
+// (a filtered own entry means the commit is already durable here).
 func (r *Replica) applyEntries(entries []applyWSEntry, fromBatch bool) {
 	applyStart := time.Now()
 	defer func() { r.stageApply.Observe(time.Since(applyStart)) }()
-	batch := make([]stm.TxnWriteSet, len(entries))
-	for i, e := range entries {
+	fresh := r.dur.append(entries)
+	batch := make([]stm.TxnWriteSet, len(fresh))
+	for i, e := range fresh {
 		batch[i] = stm.TxnWriteSet{Writer: e.TxnID, WS: e.WS}
 	}
 	r.store.ApplyWriteSets(batch)
 	mine := false
 	for _, e := range entries {
-		r.maybeGC()
 		if e.TxnID.Replica == r.id {
 			mine = true
 			r.inflight.release(r.wsClasses(e.WS))
 			r.resolveWaiter(e.TxnID, nil)
 		}
+	}
+	for range fresh {
+		r.maybeGC()
 	}
 	if mine && fromBatch {
 		r.coal.batchDelivered()
@@ -210,8 +277,12 @@ func (r *Replica) onEnabledPayload(req *lease.Request) {
 		}
 	}
 	if valid {
-		r.store.ApplyWriteSet(p.TxnID, p.WS)
-		r.maybeGC()
+		// Through the durability filter like every applied write-set: logged
+		// before installed, skipped entirely if already absorbed.
+		if fresh := r.dur.append([]applyWSEntry{{TxnID: p.TxnID, WS: p.WS}}); len(fresh) > 0 {
+			r.store.ApplyWriteSet(p.TxnID, p.WS)
+			r.maybeGC()
+		}
 	}
 	if p.TxnID.Replica == r.id {
 		if valid {

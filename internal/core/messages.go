@@ -7,6 +7,7 @@ import (
 	"github.com/alcstm/alc/internal/bloom"
 	"github.com/alcstm/alc/internal/lease"
 	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/transport"
 )
 
 // errValidationFailed is the internal commit outcome for a transaction whose
@@ -97,9 +98,24 @@ type certPayload struct {
 }
 
 // xferState is the application state transferred to a joining replica: the
-// STM heap, the lease table, and the CERT validation log.
+// STM heap, the lease table, the CERT validation log, and the applied
+// frontier the store corresponds to (the joiner's durability tier restarts
+// its delta window there).
 type xferState struct {
 	Store   stm.StoreSnapshot
+	Leases  *lease.State
+	CertLog []certLogEntry
+	// Frontier is the coordinator's per-writer applied frontier at snapshot
+	// time (see durable.frontier).
+	Frontier map[transport.ID]uint64
+}
+
+// xferDelta is the incremental alternative to xferState for a joiner that
+// advertised a usable applied frontier: only the write-set entries past that
+// frontier (oldest first, conflict-consistent order), plus the lease table
+// and CERT window, which are small and not incrementally expressible.
+type xferDelta struct {
+	Entries []applyWSEntry
 	Leases  *lease.State
 	CertLog []certLogEntry
 }
@@ -115,6 +131,7 @@ func RegisterWire() {
 	gob.Register(&lease.Request{})
 	gob.Register(&lease.Freed{})
 	gob.Register(&xferState{})
+	gob.Register(&xferDelta{})
 }
 
 // RegisterValue registers an application value type stored in boxes, for

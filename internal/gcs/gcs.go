@@ -122,6 +122,15 @@ type Handler interface {
 	InstallState(state any)
 }
 
+// DeltaProvider is optionally implemented by Handlers that can serve
+// incremental state transfers. When a joiner's joinReq advertised an applied
+// frontier, the coordinator asks StateDelta for just the missing suffix;
+// ok=false (frontier too old or incomparable) falls back to StateSnapshot.
+// Called on the dispatcher, like every Handler method.
+type DeltaProvider interface {
+	StateDelta(frontier map[transport.ID]uint64) (state any, ok bool)
+}
+
 // Config parametrizes an endpoint.
 type Config struct {
 	// Members is the group universe; the initial view contains all of them.
@@ -150,6 +159,12 @@ type Config struct {
 	OrderInterval time.Duration
 	// AutoRejoin makes an ejected process request readmission automatically.
 	AutoRejoin bool
+	// JoinFrontier, when set, is sampled at every joinReq emission: a
+	// non-nil result advertises the process's applied progress so the
+	// coordinator can serve a delta state transfer (DeltaProvider) instead
+	// of the full snapshot. Return nil when local state is absent or not
+	// frontier-consistent — that demands a full transfer.
+	JoinFrontier func() map[transport.ID]uint64
 	// Logf, if set, receives debug traces.
 	Logf func(format string, args ...any)
 }
@@ -198,6 +213,10 @@ type Endpoint struct {
 	// suspicion state
 	lastHeard map[transport.ID]time.Time
 	joinReqs  map[transport.ID]bool
+	// joinFrontiers holds the applied frontier each pending joiner last
+	// advertised (absent: the joiner wants a full transfer). Reset with
+	// joinReqs at every install.
+	joinFrontiers map[transport.ID]map[transport.ID]uint64
 	// peerJoinViews records, on an ejected process, the last installed view
 	// each peer advertised in a joinReq — the evidence from which a dead
 	// primary component is detected and recovered (maybeRecoverLocked).
@@ -252,17 +271,18 @@ func NewEndpoint(tr transport.Transport, h Handler, cfg Config) (*Endpoint, erro
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 
 	e := &Endpoint{
-		cfg:       cfg,
-		tr:        tr,
-		handler:   h,
-		self:      tr.Self(),
+		cfg:           cfg,
+		tr:            tr,
+		handler:       h,
+		self:          tr.Self(),
 		lastHeard:     make(map[transport.ID]time.Time),
 		joinReqs:      make(map[transport.ID]bool),
+		joinFrontiers: make(map[transport.ID]map[transport.ID]uint64),
 		staleSince:    make(map[transport.ID]time.Time),
 		peerJoinViews: make(map[transport.ID]uint64),
-		notify:    make(chan struct{}, 1),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		notify:        make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
 	}
 
 	initial := View{ID: 1, Members: members, Primary: true}

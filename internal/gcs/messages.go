@@ -80,6 +80,12 @@ type heartbeat struct {
 type joinReq struct {
 	From   transport.ID
 	ViewID uint64
+	// Frontier advertises the sender's applied progress (per-writer highest
+	// applied transaction sequence number) when its local state is a
+	// complete, frontier-consistent base — the coordinator may then ship a
+	// delta state transfer instead of the full snapshot. Nil demands a full
+	// transfer.
+	Frontier map[transport.ID]uint64
 }
 
 // vcPrepare starts a view change: members of the proposed view stop

@@ -24,6 +24,9 @@ type pendingInstall struct {
 	joiners map[transport.ID]bool
 	targets []transport.ID
 	ejected []transport.ID
+	// frontiers is each joiner's advertised applied frontier, captured
+	// before the install reset joinFrontiers (absent: full transfer).
+	frontiers map[transport.ID]map[transport.ID]uint64
 }
 
 // handleNet dispatches one incoming transport message.
@@ -71,10 +74,16 @@ func (e *Endpoint) handleNet(msg transport.Message) {
 		} else if m.View == e.view.ID {
 			delete(e.staleSince, m.From)
 			delete(e.joinReqs, m.From)
+			delete(e.joinFrontiers, m.From)
 		}
 	case *joinReq:
 		if e.inPrimary {
 			e.joinReqs[m.From] = true
+			if m.Frontier != nil {
+				e.joinFrontiers[m.From] = m.Frontier
+			} else {
+				delete(e.joinFrontiers, m.From)
+			}
 		} else if !e.joining {
 			// Ejected with state: remember what view the peer claims, so a
 			// dead primary component can be detected and recovered.
@@ -207,6 +216,13 @@ func (e *Endpoint) sendJoinReq() {
 		viewID = e.view.ID // state intact: advertise it for recovery
 	}
 	req := &joinReq{From: e.self, ViewID: viewID}
+	if e.cfg.JoinFrontier != nil {
+		// Sampled per request: the frontier moves while we wait (an ejected
+		// process keeps applying URB deliveries), and the install-time filter
+		// on the joiner — not this advertisement — is the correctness
+		// guarantee against overlap.
+		req.Frontier = e.cfg.JoinFrontier()
+	}
 	for _, m := range e.cfg.Members {
 		if m != e.self {
 			_ = e.tr.Send(m, req)
@@ -650,12 +666,21 @@ func (e *Endpoint) computeInstallLocked() {
 			targets = append(targets, m)
 		}
 	}
+	// Capture the joiners' advertised frontiers before applyInstallLocked
+	// resets the join bookkeeping.
+	frontiers := make(map[transport.ID]map[transport.ID]uint64, len(p.joiners))
+	for j := range p.joiners {
+		if f, ok := e.joinFrontiers[j]; ok {
+			frontiers[j] = f
+		}
+	}
 	e.applyInstallLocked(install, false)
 	e.pendingSend = &pendingInstall{
-		install: install,
-		joiners: p.joiners,
-		targets: targets,
-		ejected: ejected,
+		install:   install,
+		joiners:   p.joiners,
+		targets:   targets,
+		ejected:   ejected,
+		frontiers: frontiers,
 	}
 }
 
@@ -670,15 +695,34 @@ func (e *Endpoint) distributePendingInstall() {
 		return
 	}
 
-	var state any
-	if len(ps.joiners) > 0 {
-		state = e.handler.StateSnapshot()
-	}
+	// Per-joiner state: a joiner that advertised an applied frontier gets a
+	// delta (just the suffix it is missing) when the handler can serve one;
+	// everyone else gets the full snapshot, which is captured lazily — and at
+	// most once — only if some joiner actually needs it.
+	dp, _ := e.handler.(DeltaProvider)
+	var fullState any
+	fullCaptured := false
 	for _, m := range ps.targets {
 		msg := *ps.install // shallow copy; slices shared read-only
 		if ps.joiners[m] {
 			msg.HasState = true
-			msg.State = state
+			served := false
+			if dp != nil {
+				if f, ok := ps.frontiers[m]; ok {
+					if delta, dok := dp.StateDelta(f); dok {
+						msg.State = delta
+						served = true
+						e.logf("delta state transfer to %d", m)
+					}
+				}
+			}
+			if !served {
+				if !fullCaptured {
+					fullState = e.handler.StateSnapshot()
+					fullCaptured = true
+				}
+				msg.State = fullState
+			}
 		}
 		_ = e.tr.Send(m, &msg)
 	}
@@ -739,6 +783,7 @@ func (e *Endpoint) applyInstallLocked(in *vcInstall, freshState bool) {
 	e.wantJoin = false
 	e.prop = nil
 	e.joinReqs = make(map[transport.ID]bool)
+	e.joinFrontiers = make(map[transport.ID]map[transport.ID]uint64)
 	e.staleSince = make(map[transport.ID]time.Time)
 	e.peerJoinViews = make(map[transport.ID]uint64)
 	now := time.Now()

@@ -246,6 +246,20 @@ func writeMetrics(w io.Writer, reg *Registry) {
 		func(s repSample) int64 { return s.stats.STM.GCPruned })
 	counter("alc_migrated_in_total", "Transactions shipped here by a remote router.",
 		func(s repSample) int64 { return s.stats.MigratedIn })
+	counter("alc_wal_records_total", "Write-set records appended to the write-ahead log.",
+		func(s repSample) int64 { return s.stats.WAL.Records })
+	counter("alc_wal_appended_bytes_total", "Bytes appended to the write-ahead log (frames included).",
+		func(s repSample) int64 { return s.stats.WAL.AppendedBytes })
+	counter("alc_wal_snapshots_total", "Durable store snapshots taken (each truncates the log).",
+		func(s repSample) int64 { return s.stats.WAL.Snapshots })
+	counter("alc_wal_replayed_records_total", "WAL records replayed by the last recovery.",
+		func(s repSample) int64 { return s.stats.WAL.ReplayedRecords })
+	counter("alc_wal_deltas_served_total", "Delta state transfers served to rejoining replicas.",
+		func(s repSample) int64 { return s.stats.WAL.DeltasServed })
+	counter("alc_wal_fulls_served_total", "Full state transfers served (joiner had no usable frontier).",
+		func(s repSample) int64 { return s.stats.WAL.FullsServed })
+	counter("alc_wal_errors_total", "Durability faults (the replica degrades to memory-only).",
+		func(s repSample) int64 { return s.stats.WAL.Errors })
 
 	fmt.Fprintf(w, "# HELP alc_lease_reuse_ratio Fraction of lease establishments served by a retained lease (the routing win metric).\n# TYPE alc_lease_reuse_ratio gauge\n")
 	for _, s := range samples {
@@ -283,6 +297,31 @@ func writeMetrics(w io.Writer, reg *Registry) {
 		for _, s := range rs {
 			fmt.Fprintf(w, "alc_route_tracked_classes{router=%q} %d\n", s.name, s.stats.Tracked)
 		}
+	}
+
+	fmt.Fprintf(w, "# HELP alc_wal_snapshot_age_seconds Seconds since the last durable store snapshot (-1: never taken).\n# TYPE alc_wal_snapshot_age_seconds gauge\n")
+	for _, s := range samples {
+		age := -1.0
+		if ns := s.stats.WAL.LastSnapshotUnixNano; ns > 0 {
+			age = time.Since(time.Unix(0, ns)).Seconds()
+		}
+		fmt.Fprintf(w, "alc_wal_snapshot_age_seconds{replica=%q} %s\n", s.name,
+			strconv.FormatFloat(age, 'g', -1, 64))
+	}
+	fmt.Fprintf(w, "# HELP alc_wal_retained_entries Applied write-set entries retained for serving delta transfers.\n# TYPE alc_wal_retained_entries gauge\n")
+	for _, s := range samples {
+		fmt.Fprintf(w, "alc_wal_retained_entries{replica=%q} %d\n", s.name, s.stats.WAL.RetainedEntries)
+	}
+	fmt.Fprintf(w, "# HELP alc_wal_replay_duration_seconds WAL replay time of the last recovery.\n# TYPE alc_wal_replay_duration_seconds gauge\n")
+	for _, s := range samples {
+		fmt.Fprintf(w, "alc_wal_replay_duration_seconds{replica=%q} %s\n", s.name,
+			strconv.FormatFloat(s.stats.WAL.ReplayDuration.Seconds(), 'g', -1, 64))
+	}
+
+	fmt.Fprintf(w, "# HELP alc_wal_fsync_latency_seconds WAL fsync call latency.\n# TYPE alc_wal_fsync_latency_seconds histogram\n")
+	for _, s := range samples {
+		writeHist(w, "alc_wal_fsync_latency_seconds",
+			fmt.Sprintf("replica=%q", s.name), s.stats.WAL.FsyncLatency)
 	}
 
 	fmt.Fprintf(w, "# HELP alc_in_primary Whether the replica is in the primary component.\n# TYPE alc_in_primary gauge\n")
@@ -430,6 +469,27 @@ type DebugReplica struct {
 	Commit    HistSummary            `json:"commit_latency"`
 	Lease     lease.DebugSnapshot    `json:"lease"`
 	Store     StoreInfo              `json:"store"`
+	WAL       *WALInfo               `json:"wal,omitempty"`
+}
+
+// WALInfo summarizes the durability tier (present only when a durability
+// directory is configured).
+type WALInfo struct {
+	Records               int64       `json:"records"`
+	AppendedBytes         int64       `json:"appended_bytes"`
+	Fsync                 HistSummary `json:"fsync_latency"`
+	Snapshots             int64       `json:"snapshots"`
+	LastSnapshot          string      `json:"last_snapshot,omitempty"`
+	RecoveredFromSnapshot bool        `json:"recovered_from_snapshot"`
+	ReplayedRecords       int64       `json:"replayed_records"`
+	ReplayedEntries       int64       `json:"replayed_entries"`
+	ReplayDuration        string      `json:"replay_duration"`
+	DeltasServed          int64       `json:"deltas_served"`
+	FullsServed           int64       `json:"fulls_served"`
+	DeltaInstalled        int64       `json:"delta_installed"`
+	FullInstalled         int64       `json:"full_installed"`
+	RetainedEntries       int64       `json:"retained_entries"`
+	Errors                int64       `json:"errors"`
 }
 
 // ViewInfo is the current group-communication view.
@@ -479,6 +539,28 @@ func debugView(reg *Registry) DebugView {
 		}
 		s := r.Stats()
 		view := r.GCS().CurrentView()
+		var walInfo *WALInfo
+		if s.WAL.Enabled {
+			walInfo = &WALInfo{
+				Records:               s.WAL.Records,
+				AppendedBytes:         s.WAL.AppendedBytes,
+				Fsync:                 summarize(s.WAL.FsyncLatency),
+				Snapshots:             s.WAL.Snapshots,
+				RecoveredFromSnapshot: s.WAL.RecoveredFromSnapshot,
+				ReplayedRecords:       s.WAL.ReplayedRecords,
+				ReplayedEntries:       s.WAL.ReplayedEntries,
+				ReplayDuration:        s.WAL.ReplayDuration.String(),
+				DeltasServed:          s.WAL.DeltasServed,
+				FullsServed:           s.WAL.FullsServed,
+				DeltaInstalled:        s.WAL.DeltaInstalled,
+				FullInstalled:         s.WAL.FullInstalled,
+				RetainedEntries:       s.WAL.RetainedEntries,
+				Errors:                s.WAL.Errors,
+			}
+			if ns := s.WAL.LastSnapshotUnixNano; ns > 0 {
+				walInfo.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+			}
+		}
 		v.Replicas = append(v.Replicas, DebugReplica{
 			Name:      e.name,
 			ID:        r.ID(),
@@ -528,6 +610,7 @@ func debugView(reg *Registry) DebugView {
 				GCRuns:           s.STM.GCRuns,
 				GCPruned:         s.STM.GCPruned,
 			},
+			WAL: walInfo,
 		})
 	}
 	for _, e := range reg.routerSnapshot() {

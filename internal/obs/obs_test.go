@@ -175,6 +175,15 @@ func TestObsEndpointMetrics(t *testing.T) {
 		types["alc_commit_latency_seconds"] != "histogram" {
 		t.Fatalf("missing or mistyped families: %v", types)
 	}
+	// The durability families are exposed even for memory-only replicas
+	// (counters just stay 0), so dashboards need no conditional scraping.
+	if types["alc_wal_records_total"] != "counter" ||
+		types["alc_wal_appended_bytes_total"] != "counter" ||
+		types["alc_wal_snapshot_age_seconds"] != "gauge" ||
+		types["alc_wal_retained_entries"] != "gauge" ||
+		types["alc_wal_fsync_latency_seconds"] != "histogram" {
+		t.Fatalf("missing or mistyped WAL families: %v", types)
+	}
 
 	find := func(name string, labels map[string]string) (promSample, bool) {
 		for _, s := range samples {

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"github.com/alcstm/alc/internal/randseed"
+)
+
+// TestDurableSimSeeds is TestSimSeeds with the durability tier switched on:
+// every replica runs with a WAL + snapshot directory, and each EventRestart
+// in the fault schedule recovers the victim from its own disk state before
+// rejoining via delta state transfer. The offline checker then certifies the
+// recorded history ACROSS the restarts — a machine check that recovery loses
+// no committed write-set and invents no version order.
+func TestDurableSimSeeds(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 20
+	}
+	if s := os.Getenv("ALC_SIM_SEEDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad ALC_SIM_SEEDS=%q", s)
+		}
+		n = v
+	}
+	root := randseed.Root()
+	t.Logf("root seed %d (%d durable schedules); reproduce the batch with %s=%d go test -run TestDurableSimSeeds ./internal/sim/",
+		root, n, randseed.EnvVar, root)
+
+	// Same in-flight cap as TestSimSeeds: each run is a cluster of
+	// timer-driven goroutines, and oversubscription starves heartbeats.
+	gate := make(chan struct{}, 8)
+	for i := 0; i < n; i++ {
+		seed := randseed.Derive(root, fmt.Sprintf("durable-sim-schedule-%d", i))
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			gate <- struct{}{}
+			defer func() { <-gate }()
+			res := Run(Config{Seed: seed, Durable: true})
+			if !res.OK() {
+				recordFailingSeed(t, seed)
+				t.Errorf("%s", res.Summary())
+				t.Errorf("schedule: %s", res.Schedule)
+				t.Errorf("replay: go run ./cmd/alc-sim -seed=%d -durable -v", seed)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -14,9 +15,25 @@ import (
 	"github.com/alcstm/alc/internal/lease"
 	"github.com/alcstm/alc/internal/memnet"
 	"github.com/alcstm/alc/internal/randseed"
+	"github.com/alcstm/alc/internal/sortedset"
 	"github.com/alcstm/alc/internal/stm"
 	"github.com/alcstm/alc/internal/trace"
+	"github.com/alcstm/alc/internal/vacation"
 )
+
+// registerDurableValues registers every workload value type with gob: the WAL
+// serializes box values to disk even when the transport is in-memory.
+var registerValuesOnce sync.Once
+
+func registerDurableValues() {
+	registerValuesOnce.Do(func() {
+		core.RegisterValue(0)
+		core.RegisterValue(sortedset.RegisterValue())
+		for _, v := range vacation.RegisterValues() {
+			core.RegisterValue(v)
+		}
+	})
+}
 
 // Config parametrizes one simulation run. Only Seed is required.
 type Config struct {
@@ -32,6 +49,12 @@ type Config struct {
 	// MaxRetries bounds re-executions per transaction so a run cannot hang
 	// on livelock. Default 64.
 	MaxRetries int
+	// Durable runs every replica with the durability tier enabled: each gets
+	// a write-ahead log + snapshot directory under a run-private temp root,
+	// and EventRestart recovers the victim from its own disk state before it
+	// rejoins via delta state transfer. The history checker then certifies
+	// the recorded commits ACROSS restarts, machine-checking recovery.
+	Durable bool
 	// Routed submits load through the locality-aware router (Cluster.Submit
 	// with each transaction's declared item set) instead of pinning every
 	// thread to its own replica, so the run exercises transaction migration,
@@ -146,6 +169,20 @@ func Run(cfg Config) *Result {
 	}
 	tracer.Attach(recorder)
 
+	var durability core.DurabilityConfig
+	if cfg.Durable {
+		dir, derr := os.MkdirTemp("", "alc-sim-*")
+		if derr != nil {
+			res.Err = fmt.Errorf("sim: durable temp dir: %w", derr)
+			return res
+		}
+		defer os.RemoveAll(dir)
+		// Fsync off: memnet crashes are process-level (Close flushes), so the
+		// run measures recovery logic, not disk latency.
+		durability = core.DurabilityConfig{Dir: dir, Fsync: "off"}
+		registerDurableValues()
+	}
+
 	c, err := cluster.New(cluster.Config{
 		N:     cfg.Replicas,
 		Route: cfg.Routed,
@@ -169,7 +206,8 @@ func Run(cfg Config) *Result {
 			RetransmitAfter:   25 * time.Millisecond,
 			Tick:              5 * time.Millisecond,
 		},
-		Seed: w.seed(),
+		Seed:       w.seed(),
+		Durability: durability,
 	})
 	if err != nil {
 		res.Err = fmt.Errorf("sim: cluster start: %w", err)

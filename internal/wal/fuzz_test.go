@@ -1,0 +1,117 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALRecord fuzzes the record codec and the file-level replay path from
+// both directions at once:
+//
+//  1. Round-trip: a record encoded from `payload` and written ahead of
+//     arbitrary trailing bytes must replay back exactly, and replay must
+//     stop at or after it without inventing extra intact records beyond what
+//     the trailing bytes genuinely contain.
+//  2. Adversarial decode: `raw` is treated as a log file directly; Replay
+//     and DecodeRecord must never panic, never deliver a payload whose CRC
+//     does not verify, and must agree with each other on the valid prefix.
+func FuzzWALRecord(f *testing.F) {
+	f.Add([]byte("hello"), []byte{})
+	f.Add([]byte(""), []byte{0x01, 0x02, 0x03})
+	f.Add([]byte("a longer payload with some structure 0123456789"), []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	// A frame-shaped suffix: length=1, bogus CRC, one byte.
+	f.Add([]byte("x"), []byte{0x01, 0x00, 0x00, 0x00, 0xDE, 0xAD, 0xBE, 0xEF, 0x7A})
+	// A genuinely valid second record as the suffix.
+	f.Add([]byte("first"), EncodeRecord([]byte("second")))
+
+	f.Fuzz(func(t *testing.T, payload []byte, tail []byte) {
+		if len(payload) > MaxRecordSize {
+			t.Skip()
+		}
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.log")
+		frame := EncodeRecord(payload)
+		if err := os.WriteFile(path, append(append([]byte(nil), frame...), tail...), 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+
+		// Direction 1: the intact first record must survive whatever follows.
+		var got [][]byte
+		n, validSize, err := Replay(path, func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		if n < 1 {
+			t.Fatalf("intact leading record not replayed (n=%d)", n)
+		}
+		if !bytes.Equal(got[0], payload) {
+			t.Fatalf("record 0 = %q, want %q", got[0], payload)
+		}
+		if validSize < int64(len(frame)) || validSize > int64(len(frame)+len(tail)) {
+			t.Fatalf("validSize %d out of range [%d, %d]", validSize, len(frame), len(frame)+len(tail))
+		}
+
+		// Every replayed record must re-verify through the pure codec at its
+		// own offset — replay may never hand out bytes the frame does not
+		// prove intact.
+		full := append(append([]byte(nil), frame...), tail...)
+		off := 0
+		for i, p := range got {
+			dp, dn, ok := DecodeRecord(full[off:])
+			if !ok {
+				t.Fatalf("record %d replayed but DecodeRecord rejects it at offset %d", i, off)
+			}
+			if !bytes.Equal(dp, p) {
+				t.Fatalf("record %d: replay %q vs decode %q", i, p, dp)
+			}
+			off += dn
+		}
+		if int64(off) != validSize {
+			t.Fatalf("decode walked to %d, replay reported validSize %d", off, validSize)
+		}
+		// And the frame right after the valid prefix must NOT decode.
+		if _, _, ok := DecodeRecord(full[off:]); ok {
+			t.Fatalf("replay stopped at %d but a valid frame follows", off)
+		}
+
+		// Direction 2: raw tail as an entire log — must not panic, must not
+		// deliver unverifiable bytes.
+		rawPath := filepath.Join(dir, "raw.log")
+		if err := os.WriteFile(rawPath, tail, 0o644); err != nil {
+			t.Fatalf("write raw: %v", err)
+		}
+		_, rawValid, err := Replay(rawPath, func(p []byte) error { return nil })
+		if err != nil {
+			t.Fatalf("Replay(raw): %v", err)
+		}
+		if rawValid > int64(len(tail)) {
+			t.Fatalf("raw validSize %d exceeds file size %d", rawValid, len(tail))
+		}
+
+		// Reopening at the reported prefix and appending must yield a log
+		// whose replay ends with the appended record.
+		l, err := OpenLog(rawPath, rawValid, Options{Policy: PolicyOff})
+		if err != nil {
+			t.Fatalf("OpenLog: %v", err)
+		}
+		if _, err := l.Append([]byte("appended")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		var last []byte
+		n2, _, err := Replay(rawPath, func(p []byte) error {
+			last = append(last[:0], p...)
+			return nil
+		})
+		if err != nil || n2 < 1 || !bytes.Equal(last, []byte("appended")) {
+			t.Fatalf("post-append replay: n=%d last=%q err=%v", n2, last, err)
+		}
+	})
+}
