@@ -12,10 +12,19 @@
 //	alc-bench -experiment ablation-bloom     # D2STM Bloom size/abort trade-off
 //	alc-bench -experiment ablation-routing   # live affinity routing vs oblivious placement
 //	alc-bench -experiment ablation-batch     # group-commit batching + parallel apply
+//	alc-bench -experiment netload            # real-TCP gob-vs-wire codec A/B
 //	alc-bench -experiment all
 //
 // Scale knobs: -replicas (comma list), -duration per cell, -latency one-way
 // network latency, -nets/-grid for Lee.
+//
+// Load-generator mode drives a live alc-node's -client port over the pooled
+// client protocol instead of running a simulation:
+//
+//	alc-bench -loadgen -target 127.0.0.1:7100 -threads 32 -conns 8 -duration 10s
+//
+// It reports committed ops/s and how many requests the server's admission
+// control shed with the retryable overloaded status.
 package main
 
 import (
@@ -24,12 +33,16 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/alcstm/alc/internal/bank"
 	"github.com/alcstm/alc/internal/bench"
+	"github.com/alcstm/alc/internal/clientsrv"
 	"github.com/alcstm/alc/internal/lee"
 	"github.com/alcstm/alc/internal/obs"
+	"github.com/alcstm/alc/internal/wire"
 )
 
 func main() {
@@ -41,7 +54,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment   = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|ablation-routing|ablation-batch|all")
+		experiment   = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|ablation-routing|ablation-batch|netload|all")
 		replicaArg   = flag.String("replicas", "2,3,4,5,6,7,8", "comma-separated cluster sizes for the sweeps")
 		duration     = flag.Duration("duration", 2*time.Second, "measured duration per throughput cell")
 		latCommits   = flag.Int("latency-commits", 300, "commits per latency cell")
@@ -52,8 +65,17 @@ func run() error {
 		csvPath      = flag.String("csv", "", "append results in long-format CSV to this file")
 		batchThreads = flag.Int("batch-threads", 32, "committer threads per replica for ablation-batch")
 		httpAddr     = flag.String("http", "", "serve /metrics, /debug/alc and /debug/pprof on this address while the benchmarks run")
+
+		loadgen  = flag.Bool("loadgen", false, "drive a live alc-node client port instead of running simulations")
+		target   = flag.String("target", "", "loadgen: the node's -client address")
+		lgConns  = flag.Int("conns", 4, "loadgen: pooled connections")
+		lgThread = flag.Int("threads", 16, "loadgen: concurrent request loops")
+		lgKeys   = flag.Int("keys", 64, "loadgen: distinct keys incremented round-robin")
 	)
 	flag.Parse()
+	if *loadgen {
+		return runLoadgen(*target, *lgConns, *lgThread, *lgKeys, *duration)
+	}
 
 	replicas, err := parseInts(*replicaArg)
 	if err != nil {
@@ -214,6 +236,24 @@ func run() error {
 			}
 			return nil
 		},
+		"netload": func() error {
+			n := 4
+			if len(replicas) > 0 {
+				n = replicas[0]
+			}
+			rows, err := bench.RunNetload([]string{"gob", "wire"}, bench.NetloadConfig{
+				Replicas: n, Duration: *duration, Warmup: 300 * time.Millisecond,
+			})
+			if err != nil {
+				return err
+			}
+			bench.PrintAblation(os.Stdout,
+				fmt.Sprintf("Ablation — real-TCP frame codec: legacy gob vs binary wire (n=%d)", n), rows)
+			if csvw != nil {
+				return csvw.WriteAblation("netload", rows)
+			}
+			return nil
+		},
 		"ablation-bloom": func() error {
 			rows, err := bench.RunAblationBloom(3, []float64{0, 0.001, 0.01, 0.05, 0.15}, *duration)
 			if err != nil {
@@ -228,7 +268,7 @@ func run() error {
 		},
 	}
 
-	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality", "ablation-routing", "ablation-batch"}
+	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality", "ablation-routing", "ablation-batch", "netload"}
 	if *experiment != "all" {
 		fn, ok := experiments[*experiment]
 		if !ok {
@@ -242,6 +282,64 @@ func run() error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// runLoadgen hammers a live node's client port with pipelined incs and
+// reports throughput plus the admission-control shed count. Shed requests
+// are retried after a backoff — the overloaded status is retryable by
+// contract — so the reported ops/s counts executed requests only.
+func runLoadgen(target string, conns, threads, keys int, duration time.Duration) error {
+	if target == "" {
+		return fmt.Errorf("-loadgen requires -target host:port")
+	}
+	client := clientsrv.Dial(clientsrv.ClientConfig{Addr: target, Conns: conns})
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		return fmt.Errorf("ping %s: %w", target, err)
+	}
+
+	var (
+		ok    atomic.Int64
+		shed  atomic.Int64
+		fails atomic.Int64
+		stop  atomic.Bool
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				key := fmt.Sprintf("lg:%d", (t+i*threads)%keys)
+				p, err := client.Do(wire.OpInc, key, 1)
+				switch {
+				case err != nil:
+					fails.Add(1)
+					return
+				case p.Status == wire.StatusOK:
+					ok.Add(1)
+				case p.Status == wire.StatusOverloaded:
+					shed.Add(1)
+					time.Sleep(time.Millisecond)
+				default:
+					fails.Add(1)
+				}
+			}
+		}(t)
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("loadgen %s: %d ops in %v (%.0f ops/s), %d shed (retried), %d failures\n",
+		target, ok.Load(), elapsed.Round(time.Millisecond),
+		float64(ok.Load())/elapsed.Seconds(), shed.Load(), fails.Load())
+	if fails.Load() > 0 {
+		return fmt.Errorf("%d requests failed", fails.Load())
 	}
 	return nil
 }

@@ -8,6 +8,11 @@
 // A replica that crashed can be restarted with -join to rejoin through the
 // group's state transfer.
 //
+// Replica links speak the binary wire codec by default; -codec=gob keeps the
+// legacy gob framing for one release (every node must agree). -client opens
+// the wire client protocol front door with admission control (-max-inflight,
+// -max-pending); drive it with alc-bench -loadgen or the clientsrv package.
+//
 // Commands on stdin:
 //
 //	set <key> <int>     replicated write transaction
@@ -28,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/alcstm/alc/internal/clientsrv"
 	"github.com/alcstm/alc/internal/core"
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/lease"
@@ -55,6 +61,10 @@ func run() error {
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval or off")
 		fsyncInt  = flag.Duration("fsync-interval", 5*time.Millisecond, "fsync cadence under -fsync=interval")
 		snapEvery = flag.Int("snapshot-every", 0, "take a store snapshot and truncate the WAL every N applied write-sets (0 = default 4096, negative = never)")
+		codec     = flag.String("codec", tcpnet.CodecWire, "inter-replica frame codec: wire (binary) or gob (legacy fallback); must match on every node")
+		client    = flag.String("client", "", "serve the wire client protocol on this address (e.g. :7100; empty = no client port)")
+		inflight  = flag.Int("max-inflight", 0, "admission: concurrently executing client requests per connection (0 = default 64)")
+		pending   = flag.Int("max-pending", 0, "admission: server-wide executing client requests before shedding with the retryable overloaded status (0 = default 1024)")
 	)
 	flag.Parse()
 	if *id < 0 || *peers == "" {
@@ -71,7 +81,7 @@ func run() error {
 	core.RegisterWire()
 	core.RegisterValue(0) // int box values
 
-	tr, err := tcpnet.New(tcpnet.Config{Self: transport.ID(*id), Addrs: addrs})
+	tr, err := tcpnet.New(tcpnet.Config{Self: transport.ID(*id), Addrs: addrs, Codec: *codec})
 	if err != nil {
 		return err
 	}
@@ -106,9 +116,27 @@ func run() error {
 			*dataDir, *fsync, ws.RecoveredFromSnapshot, ws.ReplayedRecords, ws.ReplayedEntries, ws.ReplayDuration)
 	}
 
+	var csrv *clientsrv.Server
+	if *client != "" {
+		csrv, err = clientsrv.Serve(*client, clientsrv.Config{
+			Backend:     clientsrv.ReplicaBackend{R: replica},
+			MaxInflight: *inflight,
+			MaxPending:  *pending,
+		})
+		if err != nil {
+			return err
+		}
+		defer csrv.Close()
+		fmt.Printf("client protocol on %s\n", csrv.Addr())
+	}
+
 	if *httpAddr != "" {
 		obs.Default.Register(fmt.Sprintf("node-%d", *id),
 			func() *core.Replica { return replica })
+		if csrv != nil {
+			obs.Default.RegisterAdmission(fmt.Sprintf("node-%d", *id),
+				func() *clientsrv.Server { return csrv })
+		}
 		srv, err := obs.Serve(*httpAddr, obs.Default)
 		if err != nil {
 			return err

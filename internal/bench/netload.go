@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/gcs"
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/tcpnet"
+	"github.com/alcstm/alc/internal/transport"
+)
+
+// NetloadConfig parameterizes the real-TCP codec A/B experiment.
+type NetloadConfig struct {
+	// Replicas is the cluster size (paper setting: 4).
+	Replicas int
+	// Threads is the number of committer threads per replica, each owning a
+	// disjoint key (the experiment measures the wire path, not contention).
+	Threads int
+	// Duration is the measured window after Warmup.
+	Duration time.Duration
+	Warmup   time.Duration
+}
+
+func (c *NetloadConfig) fillDefaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Warmup < 0 {
+		c.Warmup = 0
+	}
+}
+
+// RunNetload runs the replicated STM over real loopback TCP — the exact
+// cmd/alc-node stack — once per requested codec and reports each run's
+// committed-transaction throughput. It is the end-to-end half of the
+// gob-vs-wire ablation (BenchmarkCodec* is the microscopic half).
+func RunNetload(codecs []string, cfg NetloadConfig) ([]AblationRow, error) {
+	cfg.fillDefaults()
+	gcs.RegisterWire()
+	core.RegisterWire()
+	core.RegisterValue(0)
+
+	rows := make([]AblationRow, 0, len(codecs))
+	for _, codec := range codecs {
+		res, err := runNetloadOnce(codec, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: netload %s: %w", codec, err)
+		}
+		rows = append(rows, AblationRow{
+			Variant: fmt.Sprintf("tcp codec %s", codec),
+			Result:  res,
+			Extra:   fmt.Sprintf("n=%d threads=%d", cfg.Replicas, cfg.Threads),
+		})
+	}
+	return rows, nil
+}
+
+func runNetloadOnce(codec string, cfg NetloadConfig) (Throughput, error) {
+	ids := make([]transport.ID, cfg.Replicas)
+	for i := range ids {
+		ids[i] = transport.ID(i)
+	}
+
+	// Bind throwaway listeners to learn free ports, then restart with the
+	// full address map (the way a deployment configures statically).
+	addrs := make(map[transport.ID]string, len(ids))
+	for _, id := range ids {
+		tmp, err := tcpnet.New(tcpnet.Config{
+			Self:  id,
+			Addrs: map[transport.ID]string{id: "127.0.0.1:0"},
+			Codec: codec,
+		})
+		if err != nil {
+			return Throughput{}, err
+		}
+		addrs[id] = tmp.Addr()
+		if err := tmp.Close(); err != nil {
+			return Throughput{}, err
+		}
+	}
+
+	replicas := make([]*core.Replica, 0, len(ids))
+	defer func() {
+		for _, r := range replicas {
+			_ = r.Close()
+		}
+	}()
+	for _, id := range ids {
+		tr, err := tcpnet.New(tcpnet.Config{Self: id, Addrs: addrs, Codec: codec})
+		if err != nil {
+			return Throughput{}, err
+		}
+		r, err := core.NewReplica(tr, core.Config{
+			Protocol: core.ProtocolALC,
+			Lease:    lease.Config{OptimisticFree: true},
+		}, gcs.Config{Members: ids})
+		if err != nil {
+			_ = tr.Close()
+			return Throughput{}, err
+		}
+		replicas = append(replicas, r)
+	}
+	for _, r := range replicas {
+		if err := r.WaitForView(len(ids), 20*time.Second); err != nil {
+			return Throughput{}, err
+		}
+	}
+
+	var (
+		stop     atomic.Bool
+		measure  atomic.Bool
+		commits  atomic.Int64
+		failures atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for ri, r := range replicas {
+		for t := 0; t < cfg.Threads; t++ {
+			wg.Add(1)
+			go func(r *core.Replica, key string) {
+				defer wg.Done()
+				for !stop.Load() {
+					err := r.Atomic(func(tx *stm.Txn) error {
+						v, err := tx.Read(key)
+						cur := 0
+						if err == nil {
+							cur = v.(int)
+						} else if !errors.Is(err, stm.ErrNoSuchBox) {
+							return err
+						}
+						return tx.Write(key, cur+1)
+					})
+					switch {
+					case err == nil:
+						if measure.Load() {
+							commits.Add(1)
+						}
+					default:
+						failures.Add(1)
+						return
+					}
+				}
+			}(r, fmt.Sprintf("net:%d:%d", ri, t))
+		}
+	}
+
+	time.Sleep(cfg.Warmup)
+	measure.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	if failures.Load() > 0 {
+		return Throughput{}, fmt.Errorf("%d committer threads failed", failures.Load())
+	}
+	n := commits.Load()
+	return Throughput{
+		Params:        Params{Protocol: core.ProtocolALC, Replicas: cfg.Replicas},
+		Duration:      elapsed,
+		Commits:       n,
+		CommitsPerSec: float64(n) / elapsed.Seconds(),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package clientsrv
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/wire"
+)
+
+// ReplicaBackend executes client operations against a replica: gets run as
+// local read-only transactions, sets and incs as replicated update
+// transactions. Box values are ints (the alc-node convention; clients speak
+// int64 and the store keeps int).
+type ReplicaBackend struct {
+	R *core.Replica
+}
+
+// Exec implements Backend.
+func (b ReplicaBackend) Exec(op wire.Op, key string, arg int64) (int64, error) {
+	switch op {
+	case wire.OpPing:
+		return 0, nil
+	case wire.OpGet:
+		var out int64
+		err := b.R.AtomicRO(func(tx *stm.Txn) error {
+			v, err := tx.Read(key)
+			if err != nil {
+				return err
+			}
+			n, ok := v.(int)
+			if !ok {
+				return fmt.Errorf("box %s holds %T, not int", key, v)
+			}
+			out = int64(n)
+			return nil
+		})
+		if errors.Is(err, stm.ErrNoSuchBox) {
+			return 0, ErrNotFound
+		}
+		return out, err
+	case wire.OpSet:
+		err := b.R.Atomic(func(tx *stm.Txn) error {
+			return tx.Write(key, int(arg))
+		})
+		return arg, err
+	case wire.OpInc:
+		var out int64
+		err := b.R.Atomic(func(tx *stm.Txn) error {
+			cur := 0
+			v, err := tx.Read(key)
+			switch {
+			case errors.Is(err, stm.ErrNoSuchBox):
+				// absent: create at arg
+			case err != nil:
+				return err
+			default:
+				n, ok := v.(int)
+				if !ok {
+					return fmt.Errorf("box %s holds %T, not int", key, v)
+				}
+				cur = n
+			}
+			out = int64(cur) + arg
+			return tx.Write(key, int(out))
+		})
+		return out, err
+	}
+	return 0, fmt.Errorf("unknown op %d", byte(op))
+}

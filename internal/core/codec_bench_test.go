@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"testing"
+
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/stm"
+	"github.com/alcstm/alc/internal/wire"
+)
+
+// The gob-vs-wire codec A/B, microscopic half (RunNetload is the end-to-end
+// half): encode and decode of a representative group-commit write-set batch —
+// the message the hot tcpnet path carries most — measured with allocs/op.
+//
+// The gob benchmarks model tcpnet's actual gob mode: a persistent
+// encoder/decoder pair per connection, so type descriptors are transmitted
+// once and every measured iteration is steady-state.
+
+// benchBatch builds a group-commit batch of 16 transactions, 4 writes each,
+// with small int values — the sharded-bank shape the throughput experiments
+// drive.
+func benchBatch() *applyWSBatchMsg {
+	entries := make([]applyWSEntry, 16)
+	for i := range entries {
+		ws := make(stm.WriteSet, 4)
+		for j := range ws {
+			ws[j] = stm.WriteEntry{
+				Box:   "acct:00012345:balance",
+				Value: 1000*i + j,
+			}
+		}
+		entries[i] = applyWSEntry{
+			TxnID:   stm.TxnID{Replica: 2, Seq: uint64(3000 + i)},
+			LeaseID: lease.RequestID{Proc: 2, Seq: uint64(40 + i)},
+			WS:      ws,
+		}
+	}
+	return &applyWSBatchMsg{Entries: entries}
+}
+
+// gobEnvelope mirrors tcpnet's gob-mode frame body.
+type gobEnvelope struct {
+	From    int32
+	Payload any
+}
+
+func BenchmarkCodecWireEncode(b *testing.B) {
+	RegisterWire()
+	msg := benchBatch()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := wire.AppendEnvelope(buf[:0], 2, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkCodecWireDecode(b *testing.B) {
+	RegisterWire()
+	frame, err := wire.AppendEnvelope(nil, 2, benchBatch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := frame[5:] // strip length prefix + version, as ReadFrame does
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wire.DecodeEnvelope(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecGobEncode(b *testing.B) {
+	RegisterWire() // gob.Register side included
+	msg := benchBatch()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	// Prime the connection: the first Encode ships type descriptors.
+	if err := enc.Encode(gobEnvelope{From: 2, Payload: msg}); err != nil {
+		b.Fatal(err)
+	}
+	steady := buf.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := enc.Encode(gobEnvelope{From: 2, Payload: msg}); err != nil {
+			b.Fatal(err)
+		}
+		steady = buf.Len()
+	}
+	b.SetBytes(int64(steady))
+}
+
+// repeatReader yields prime once, then steady forever: the byte stream a
+// persistent gob connection carries after its first message.
+type repeatReader struct {
+	prime  []byte
+	steady []byte
+	off    int
+	primed bool
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	cur := r.steady
+	if !r.primed {
+		cur = r.prime
+	}
+	if r.off == len(cur) {
+		if !r.primed {
+			r.primed = true
+		}
+		r.off = 0
+		cur = r.steady
+	}
+	n := copy(p, cur[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func BenchmarkCodecGobDecode(b *testing.B) {
+	RegisterWire()
+	msg := benchBatch()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(gobEnvelope{From: 2, Payload: msg}); err != nil {
+		b.Fatal(err)
+	}
+	prime := append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := enc.Encode(gobEnvelope{From: 2, Payload: msg}); err != nil {
+		b.Fatal(err)
+	}
+	steady := append([]byte(nil), buf.Bytes()...)
+
+	r := &repeatReader{prime: prime, steady: steady}
+	dec := gob.NewDecoder(io.Reader(r))
+	var env gobEnvelope
+	if err := dec.Decode(&env); err != nil { // consume the priming message
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(steady)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var env gobEnvelope
+		if err := dec.Decode(&env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

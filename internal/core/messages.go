@@ -120,10 +120,14 @@ type xferDelta struct {
 	CertLog []certLogEntry
 }
 
-// RegisterWire registers every replication-layer wire type with encoding/gob
-// for transports that serialize payloads (tcpnet). Values stored in boxes
-// must additionally be registered by the application (RegisterValue).
+// RegisterWire registers every replication-layer wire type for transports
+// that serialize payloads (tcpnet), under both codecs: encoding/gob (the
+// legacy fallback) and the hand-rolled binary codec (RegisterBinary). Values
+// stored in boxes must additionally be registered by the application
+// (RegisterValue); under the binary codec, non-primitive values ride in a
+// gob-blob fallback, so one registration covers both paths.
 func RegisterWire() {
+	RegisterBinary()
 	gob.Register(&applyWSMsg{})
 	gob.Register(&applyWSBatchMsg{})
 	gob.Register(&certMsg{})

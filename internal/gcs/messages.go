@@ -150,10 +150,12 @@ type ejectNotice struct {
 	ViewID uint64
 }
 
-// RegisterWire registers every GCS wire type with encoding/gob for
-// serializing transports (tcpnet). Application payload types carried inside
-// broadcasts must be registered separately.
+// RegisterWire registers every GCS wire type for serializing transports
+// (tcpnet), under both codecs: encoding/gob (the legacy fallback) and the
+// hand-rolled binary codec (RegisterBinary). Application payload types
+// carried inside broadcasts must be registered separately.
 func RegisterWire() {
+	RegisterBinary()
 	gob.Register(&urbData{})
 	gob.Register(&urbAck{})
 	gob.Register(&orderBatch{})

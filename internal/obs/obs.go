@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/alcstm/alc/internal/clientsrv"
 	"github.com/alcstm/alc/internal/core"
 	"github.com/alcstm/alc/internal/gcs"
 	"github.com/alcstm/alc/internal/lease"
@@ -37,9 +38,10 @@ import (
 // across crash/restart cycles (the cluster harness swaps the underlying
 // *core.Replica); a getter returning nil is skipped by every endpoint.
 type Registry struct {
-	mu      sync.Mutex
-	entries map[string]*entry
-	routers map[string]*routerEntry
+	mu        sync.Mutex
+	entries   map[string]*entry
+	routers   map[string]*routerEntry
+	admission map[string]*admissionEntry
 }
 
 type entry struct {
@@ -52,11 +54,17 @@ type routerEntry struct {
 	get  func() *route.Router
 }
 
+type admissionEntry struct {
+	name string
+	get  func() *clientsrv.Server
+}
+
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		entries: make(map[string]*entry),
-		routers: make(map[string]*routerEntry),
+		entries:   make(map[string]*entry),
+		routers:   make(map[string]*routerEntry),
+		admission: make(map[string]*admissionEntry),
 	}
 }
 
@@ -98,6 +106,23 @@ func (g *Registry) RegisterRouter(name string, get func() *route.Router) (cancel
 	}
 }
 
+// RegisterAdmission adds a named client-server getter (the replica's client
+// front door) and returns a cancel function that removes it. Its admission
+// counters are exported as the alc_admission_* metric families.
+func (g *Registry) RegisterAdmission(name string, get func() *clientsrv.Server) (cancel func()) {
+	e := &admissionEntry{name: name, get: get}
+	g.mu.Lock()
+	g.admission[name] = e
+	g.mu.Unlock()
+	return func() {
+		g.mu.Lock()
+		if g.admission[name] == e {
+			delete(g.admission, name)
+		}
+		g.mu.Unlock()
+	}
+}
+
 // snapshot returns the live entries sorted by name for deterministic output.
 func (g *Registry) snapshot() []*entry {
 	g.mu.Lock()
@@ -115,6 +140,18 @@ func (g *Registry) routerSnapshot() []*routerEntry {
 	g.mu.Lock()
 	out := make([]*routerEntry, 0, len(g.routers))
 	for _, e := range g.routers {
+		out = append(out, e)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// admissionSnapshot returns the live client-server entries sorted by name.
+func (g *Registry) admissionSnapshot() []*admissionEntry {
+	g.mu.Lock()
+	out := make([]*admissionEntry, 0, len(g.admission))
+	for _, e := range g.admission {
 		out = append(out, e)
 	}
 	g.mu.Unlock()
@@ -296,6 +333,44 @@ func writeMetrics(w io.Writer, reg *Registry) {
 		fmt.Fprintf(w, "# HELP alc_route_tracked_classes Conflict classes with a live affinity owner.\n# TYPE alc_route_tracked_classes gauge\n")
 		for _, s := range rs {
 			fmt.Fprintf(w, "alc_route_tracked_classes{router=%q} %d\n", s.name, s.stats.Tracked)
+		}
+	}
+
+	admission := reg.admissionSnapshot()
+	if len(admission) > 0 {
+		type admSample struct {
+			name  string
+			stats clientsrv.Stats
+		}
+		var as []admSample
+		for _, e := range admission {
+			if s := e.get(); s != nil {
+				as = append(as, admSample{name: e.name, stats: s.Stats()})
+			}
+		}
+		admCounter := func(fam, help string, get func(clientsrv.Stats) int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", fam, help, fam)
+			for _, s := range as {
+				fmt.Fprintf(w, "%s{server=%q} %d\n", fam, s.name, get(s.stats))
+			}
+		}
+		admCounter("alc_admission_conns_total", "Accepted client connections.",
+			func(s clientsrv.Stats) int64 { return s.Conns })
+		admCounter("alc_admission_handshake_rejects_total", "Client-port connections refused at handshake.",
+			func(s clientsrv.Stats) int64 { return s.HandshakeRejects })
+		admCounter("alc_admission_admitted_total", "Client requests dispatched to the backend.",
+			func(s clientsrv.Stats) int64 { return s.Admitted })
+		admCounter("alc_admission_shed_total", "Client requests shed with the retryable overloaded status.",
+			func(s clientsrv.Stats) int64 { return s.Shed })
+		admCounter("alc_admission_completed_total", "Admitted client requests answered.",
+			func(s clientsrv.Stats) int64 { return s.Completed })
+		fmt.Fprintf(w, "# HELP alc_admission_inflight Client requests executing right now.\n# TYPE alc_admission_inflight gauge\n")
+		for _, s := range as {
+			fmt.Fprintf(w, "alc_admission_inflight{server=%q} %d\n", s.name, s.stats.Inflight)
+		}
+		fmt.Fprintf(w, "# HELP alc_admission_pending_limit Server-wide inflight threshold beyond which requests are shed.\n# TYPE alc_admission_pending_limit gauge\n")
+		for _, s := range as {
+			fmt.Fprintf(w, "alc_admission_pending_limit{server=%q} %d\n", s.name, s.stats.PendingLimit)
 		}
 	}
 

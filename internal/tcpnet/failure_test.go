@@ -1,24 +1,55 @@
 package tcpnet
 
 import (
-	"bytes"
-	"encoding/gob"
 	"net"
 	"testing"
 	"time"
 
 	"github.com/alcstm/alc/internal/transport"
+	"github.com/alcstm/alc/internal/wire"
 )
 
 // Failure-path coverage: the transport must shrug off malformed inbound
-// streams (a decoder error kills only that connection) and transparently
+// streams (a framing error kills only that connection) and transparently
 // re-dial peers that crash and come back on the same address. These paths are
 // what the GCS leans on during real deployments — a flaky peer must degrade
 // into message loss, never into a wedged or crashed transport.
 
-// TestGarbageOnWireDropsConnection writes non-gob bytes straight at the
-// listener. The read loop must drop the connection without disturbing
-// delivery on healthy connections.
+// newGroupCodec is newGroup with an explicit frame codec.
+func newGroupCodec(t *testing.T, n int, codec string) []*Transport {
+	t.Helper()
+	addrs := make(map[transport.ID]string, n)
+	for i := 0; i < n; i++ {
+		tr, err := New(Config{
+			Self:  transport.ID(i),
+			Addrs: map[transport.ID]string{transport.ID(i): "127.0.0.1:0"},
+			Codec: codec,
+		})
+		if err != nil {
+			t.Fatalf("bootstrap transport %d: %v", i, err)
+		}
+		addrs[transport.ID(i)] = tr.Addr()
+		_ = tr.Close()
+	}
+	out := make([]*Transport, n)
+	for i := 0; i < n; i++ {
+		tr, err := New(Config{Self: transport.ID(i), Addrs: addrs, Codec: codec, Logf: t.Logf})
+		if err != nil {
+			t.Fatalf("transport %d: %v", i, err)
+		}
+		out[i] = tr
+	}
+	t.Cleanup(func() {
+		for _, tr := range out {
+			_ = tr.Close()
+		}
+	})
+	return out
+}
+
+// TestGarbageOnWireDropsConnection writes bytes that are not even a
+// handshake straight at the listener: the connection must be refused loudly
+// (counted as a handshake reject) without disturbing healthy connections.
 func TestGarbageOnWireDropsConnection(t *testing.T) {
 	trs := newGroup(t, 2)
 
@@ -27,11 +58,18 @@ func TestGarbageOnWireDropsConnection(t *testing.T) {
 		t.Fatalf("raw dial: %v", err)
 	}
 	defer raw.Close()
-	if _, err := raw.Write([]byte("definitely not a gob stream\x00\xff\xfe")); err != nil {
+	if _, err := raw.Write([]byte("definitely not a wire stream\x00\xff\xfe")); err != nil {
 		t.Fatalf("raw write: %v", err)
 	}
 
-	// Healthy traffic still flows after the poisoned connection is dropped.
+	// The reject is observable, and healthy traffic still flows.
+	deadline := time.Now().Add(5 * time.Second)
+	for trs[1].HandshakeRejects() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("garbage connection was never rejected at handshake")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	if err := trs[0].Send(1, &testPayload{N: 42}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
@@ -40,20 +78,51 @@ func TestGarbageOnWireDropsConnection(t *testing.T) {
 	}
 }
 
-// TestPartialFrameMidGob cuts a connection in the middle of an encoded frame:
-// the receiver must discard the truncated message and survive.
-func TestPartialFrameMidGob(t *testing.T) {
+// TestGarbageAfterHandshakeDropsConnection opens a valid handshake and then
+// streams garbage frames: the read loop must drop only that connection.
+func TestGarbageAfterHandshakeDropsConnection(t *testing.T) {
+	trs := newGroup(t, 2)
+
+	raw, err := net.Dial("tcp", trs[1].Addr())
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	defer raw.Close()
+	if err := wire.WriteHandshake(raw, wire.CodecWire); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	// A frame whose declared length is hostile (far above MaxFrame) must be
+	// rejected before allocation; the conn dies, the transport survives.
+	if _, err := raw.Write([]byte{0xff, 0xff, 0xff, 0xff, wire.Version}); err != nil {
+		t.Fatalf("raw write: %v", err)
+	}
+
+	select {
+	case m := <-trs[1].Inbox():
+		t.Fatalf("garbage frame surfaced as %#v", m.Payload)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := trs[0].Send(1, &testPayload{N: 42}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got := recvOne(t, trs[1]).Payload.(*testPayload).N; got != 42 {
+		t.Fatalf("payload N = %d, want 42", got)
+	}
+}
+
+// TestPartialFrameMidWire cuts a connection in the middle of a valid binary
+// frame: the receiver must discard the truncated message and survive.
+func TestPartialFrameMidWire(t *testing.T) {
 	trs := newGroup(t, 2)
 
 	// Encode one valid envelope to learn its byte form, then send only a
-	// prefix — a syntactically plausible but truncated gob stream.
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(envelope{From: 0, Payload: &testPayload{N: 7, Text: "truncated"}}); err != nil {
+	// prefix — a syntactically plausible but truncated frame.
+	frame, err := wire.AppendEnvelope(wire.AppendHandshake(nil, wire.CodecWire),
+		0, "a payload that will be cut off mid-frame")
+	if err != nil {
 		t.Fatalf("encode: %v", err)
 	}
-	frame := buf.Bytes()
-	if len(frame) < 8 {
+	if len(frame) < 16 {
 		t.Fatalf("frame unexpectedly small: %d bytes", len(frame))
 	}
 
@@ -61,7 +130,7 @@ func TestPartialFrameMidGob(t *testing.T) {
 	if err != nil {
 		t.Fatalf("raw dial: %v", err)
 	}
-	if _, err := raw.Write(frame[:len(frame)/2]); err != nil {
+	if _, err := raw.Write(frame[:len(frame)-3]); err != nil {
 		t.Fatalf("raw write: %v", err)
 	}
 	_ = raw.Close() // cut mid-frame
@@ -78,6 +147,78 @@ func TestPartialFrameMidGob(t *testing.T) {
 	}
 	if got := recvOne(t, trs[1]).Payload.(*testPayload).N; got != 9 {
 		t.Fatalf("payload N = %d, want 9", got)
+	}
+}
+
+// TestCodecCrossCompatFailsLoudly runs a wire-mode node and a gob-mode node
+// as one two-member cluster. The mixed links must be refused at handshake —
+// observable rejects on both sides — and never corrupt into a delivered
+// message.
+func TestCodecCrossCompatFailsLoudly(t *testing.T) {
+	// Learn two free ports.
+	boot := newGroup(t, 2)
+	addrs := map[transport.ID]string{0: boot[0].Addr(), 1: boot[1].Addr()}
+	for _, tr := range boot {
+		_ = tr.Close()
+	}
+
+	mk := func(id transport.ID, codec string) *Transport {
+		var tr *Transport
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			var err error
+			tr, err = New(Config{
+				Self: id, Addrs: addrs, Codec: codec,
+				RedialInterval: 20 * time.Millisecond,
+				Logf:           t.Logf,
+			})
+			if err == nil {
+				return tr
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rebind %v: %v", addrs[id], err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	wireNode := mk(0, CodecWire)
+	defer wireNode.Close()
+	gobNode := mk(1, CodecGob)
+	defer gobNode.Close()
+
+	// Both directions: every delivery attempt must bounce at the handshake.
+	deadline := time.Now().Add(5 * time.Second)
+	for wireNode.HandshakeRejects() == 0 || gobNode.HandshakeRejects() == 0 {
+		_ = wireNode.Send(1, &testPayload{N: 1})
+		_ = gobNode.Send(0, &testPayload{N: 2})
+		if time.Now().After(deadline) {
+			t.Fatalf("mixed-codec links were not rejected (wire=%d gob=%d rejects)",
+				wireNode.HandshakeRejects(), gobNode.HandshakeRejects())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Silent corruption check: nothing may have been delivered anywhere.
+	select {
+	case m := <-wireNode.Inbox():
+		t.Fatalf("wire node delivered %#v from a gob peer", m.Payload)
+	case m := <-gobNode.Inbox():
+		t.Fatalf("gob node delivered %#v from a wire peer", m.Payload)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestGobFallbackCodec keeps the legacy gob framing working end to end while
+// it remains a supported fallback.
+func TestGobFallbackCodec(t *testing.T) {
+	trs := newGroupCodec(t, 2, CodecGob)
+	want := &testPayload{N: 7, Text: "gob fallback", Tags: []string{"a"}}
+	if err := trs[0].Send(1, want); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, ok := recvOne(t, trs[1]).Payload.(*testPayload)
+	if !ok || got.N != want.N || got.Text != want.Text {
+		t.Fatalf("payload = %#v, want %#v", got, want)
 	}
 }
 

@@ -1,5 +1,5 @@
-// Package tcpnet implements transport.Transport over TCP with gob-encoded
-// frames, for deploying the replicated STM on real machines (cmd/alc-node).
+// Package tcpnet implements transport.Transport over TCP for deploying the
+// replicated STM on real machines (cmd/alc-node).
 //
 // Semantics match the simulated transport: sends are asynchronous, delivery
 // is FIFO per connection, and messages to unreachable peers are dropped (the
@@ -7,8 +7,16 @@
 // connections are established lazily and re-dialed in the background after
 // failures.
 //
-// All payload types crossing the wire must be registered with encoding/gob:
-// gcs.RegisterWire and core.RegisterWire cover the protocol stack, and
+// Two frame codecs exist. The default, "wire", is the hand-rolled binary
+// codec from internal/wire: length-prefixed frames, one tag byte per message
+// type, reused buffers on both the encode and decode path. "gob" keeps the
+// previous encoding/gob streams as an A/B fallback for one release. Every
+// connection opens with an 8-byte handshake naming the codec, so a gob-mode
+// node and a wire-mode node in one cluster fail loudly at accept time instead
+// of corrupting each other's streams.
+//
+// All payload types crossing the wire must be registered: gcs.RegisterWire
+// and core.RegisterWire cover the protocol stack under both codecs, and
 // applications register their box value types via core.RegisterValue.
 package tcpnet
 
@@ -17,11 +25,23 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
 	"time"
 
 	"github.com/alcstm/alc/internal/transport"
+	"github.com/alcstm/alc/internal/wire"
+)
+
+// Codec names accepted by Config.Codec.
+const (
+	// CodecWire selects the binary codec (default).
+	CodecWire = "wire"
+	// CodecGob selects the legacy gob codec (fallback for one release;
+	// slated for removal once the binary codec has baked).
+	CodecGob = "gob"
 )
 
 // Config describes the process and its peers.
@@ -36,9 +56,21 @@ type Config struct {
 	RedialInterval time.Duration
 	// QueueSize bounds per-peer send queues and the inbox. Default 8192.
 	QueueSize int
+	// Codec selects the frame encoding: CodecWire (default) or CodecGob.
+	// Every node of a cluster must run the same codec; mixed links are
+	// refused at handshake.
+	Codec string
+	// MaxFrame caps inbound wire-codec frame bodies (hostile or corrupt
+	// length prefixes are rejected before allocation). Default 64 MiB —
+	// state-transfer snapshots are the largest legitimate frames.
+	MaxFrame int
+	// Logf, if set, receives connection-failure diagnostics (handshake
+	// mismatches, undecodable peers). Defaults to the standard logger:
+	// codec misconfiguration must be loud, not a silent message drop.
+	Logf func(format string, args ...any)
 }
 
-func (c *Config) fillDefaults() {
+func (c *Config) fillDefaults() error {
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 2 * time.Second
 	}
@@ -48,9 +80,32 @@ func (c *Config) fillDefaults() {
 	if c.QueueSize <= 0 {
 		c.QueueSize = 8192
 	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	switch c.Codec {
+	case "":
+		c.Codec = CodecWire
+	case CodecWire, CodecGob:
+	default:
+		return fmt.Errorf("tcpnet: unknown codec %q (want %q or %q)", c.Codec, CodecWire, CodecGob)
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return nil
 }
 
-// envelope is the wire frame.
+// codecByte maps the codec name to its handshake identity.
+func (c *Config) codecByte() byte {
+	if c.Codec == CodecGob {
+		return wire.CodecGob
+	}
+	return wire.CodecWire
+}
+
+// envelope is the gob-codec wire frame (the binary codec uses
+// wire.AppendEnvelope instead).
 type envelope struct {
 	From    transport.ID
 	Payload any
@@ -65,6 +120,11 @@ type Transport struct {
 	mu    sync.Mutex
 	peers map[transport.ID]*peer
 
+	// handshakeRejects counts inbound connections refused for a codec or
+	// version mismatch — the observable "failed loudly" signal.
+	rejectMu         sync.Mutex
+	handshakeRejects int
+
 	stopOnce sync.Once
 	done     chan struct{}
 	wg       sync.WaitGroup
@@ -74,7 +134,9 @@ var _ transport.Transport = (*Transport)(nil)
 
 // New starts listening and returns the transport.
 func New(cfg Config) (*Transport, error) {
-	cfg.fillDefaults()
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
 	addr, ok := cfg.Addrs[cfg.Self]
 	if !ok {
 		return nil, fmt.Errorf("tcpnet: no address for self (%d)", cfg.Self)
@@ -101,11 +163,23 @@ func (t *Transport) Addr() string { return t.ln.Addr().String() }
 // Self returns the local process ID.
 func (t *Transport) Self() transport.ID { return t.cfg.Self }
 
+// Codec returns the codec this transport frames connections with.
+func (t *Transport) Codec() string { return t.cfg.Codec }
+
 // Inbox returns the incoming message stream.
 func (t *Transport) Inbox() <-chan transport.Message { return t.inbox }
 
 // Done is closed when the transport stops.
 func (t *Transport) Done() <-chan struct{} { return t.done }
+
+// HandshakeRejects reports how many inbound connections were refused for a
+// codec or version mismatch. A nonzero value on a freshly deployed cluster
+// means the nodes disagree on -codec.
+func (t *Transport) HandshakeRejects() int {
+	t.rejectMu.Lock()
+	defer t.rejectMu.Unlock()
+	return t.handshakeRejects
+}
 
 // Send enqueues a payload for delivery to a peer. Unreachable peers drop
 // messages silently (asynchronous-system semantics).
@@ -196,7 +270,62 @@ func (t *Transport) readLoop(conn net.Conn) {
 		<-t.done
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(bufio.NewReaderSize(conn, 64<<10))
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	// Every connection opens with the codec handshake. A mismatch is a
+	// deployment error (mixed -codec cluster, or a stray client on the
+	// replica port): refuse the connection and say so loudly.
+	if err := wire.ReadHandshake(br, t.cfg.codecByte()); err != nil {
+		t.rejectMu.Lock()
+		t.handshakeRejects++
+		t.rejectMu.Unlock()
+		t.cfg.Logf("tcpnet[%d]: refusing connection from %s: %v", t.cfg.Self, conn.RemoteAddr(), err)
+		return
+	}
+
+	if t.cfg.Codec == CodecGob {
+		t.readLoopGob(br)
+		return
+	}
+	t.readLoopWire(br)
+}
+
+// readLoopWire decodes binary-codec frames into the inbox. The frame buffer
+// is reused across messages; payloads are fully decoded (deep-copied) before
+// the buffer is recycled.
+func (t *Transport) readLoopWire(br *bufio.Reader) {
+	var buf []byte
+	for {
+		body, nbuf, err := wire.ReadFrame(br, buf, t.cfg.MaxFrame)
+		buf = nbuf
+		if err != nil {
+			// Clean close (EOF) and shutdown races are normal; anything else
+			// (oversize frame, truncation mid-frame) is worth a line.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				t.cfg.Logf("tcpnet[%d]: dropping connection: %v", t.cfg.Self, err)
+			}
+			return
+		}
+		from, payload, err := wire.DecodeEnvelope(body)
+		if err != nil {
+			t.cfg.Logf("tcpnet[%d]: dropping connection: undecodable frame: %v", t.cfg.Self, err)
+			return
+		}
+		// One oversized frame (a state transfer) must not pin its buffer.
+		if cap(buf) > frameBufClamp {
+			buf = nil
+		}
+		select {
+		case t.inbox <- transport.Message{From: transport.ID(from), Payload: payload}:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// readLoopGob decodes legacy gob streams into the inbox.
+func (t *Transport) readLoopGob(br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
@@ -232,12 +361,12 @@ func (p *peer) enqueue(payload any) {
 
 func (p *peer) close() { p.once.Do(func() { close(p.stop) }) }
 
-// frameBuf is a reusable encode buffer. The gob encoder holds a reference to
-// it for the lifetime of a connection (a gob stream must keep one encoder:
-// restarting it would re-issue wire type IDs and desynchronize the peer's
-// decoder), so the buffer is reset in place between frames rather than
-// reallocated. reset clamps retained capacity so one oversized frame (e.g. a
-// state-transfer snapshot) does not pin its allocation forever.
+// frameBuf is a reusable encode buffer. Under the gob codec the encoder holds
+// a reference to it for the lifetime of a connection (a gob stream must keep
+// one encoder: restarting it would re-issue wire type IDs and desynchronize
+// the peer's decoder), so the buffer is reset in place between frames rather
+// than reallocated. reset clamps retained capacity so one oversized frame
+// (e.g. a state-transfer snapshot) does not pin its allocation forever.
 type frameBuf struct {
 	b []byte
 }
@@ -258,15 +387,15 @@ func (f *frameBuf) reset() {
 	f.b = f.b[:0]
 }
 
-// run dials, streams the queue, and re-dials on failure. Each envelope is gob-
+// run dials, streams the queue, and re-dials on failure. Each message is
 // encoded into a reused buffer and written to the socket as a single Write:
-// gob's internal per-message segments never hit the network individually, and
-// steady-state sends allocate nothing for framing.
+// per-message segments never hit the network individually, and steady-state
+// sends allocate nothing for framing.
 func (p *peer) run() {
 	defer p.t.wg.Done()
 	var (
 		conn net.Conn
-		enc  *gob.Encoder
+		enc  *gob.Encoder // gob codec only
 		buf  frameBuf
 	)
 	disconnect := func() {
@@ -278,6 +407,7 @@ func (p *peer) run() {
 	}
 	defer disconnect()
 
+	gobMode := p.t.cfg.Codec == CodecGob
 	for {
 		var payload any
 		select {
@@ -301,14 +431,40 @@ func (p *peer) run() {
 				}
 				continue
 			}
-			conn, enc = c, gob.NewEncoder(&buf)
+			if err := wire.WriteHandshake(c, p.t.cfg.codecByte()); err != nil {
+				_ = c.Close()
+				continue
+			}
+			conn = c
+			if gobMode {
+				enc = gob.NewEncoder(&buf)
+			}
 		}
-		buf.reset()
-		if err := enc.Encode(envelope{From: p.t.cfg.Self, Payload: payload}); err != nil {
-			disconnect()
+
+		if gobMode {
+			buf.reset()
+			if err := enc.Encode(envelope{From: p.t.cfg.Self, Payload: payload}); err != nil {
+				p.t.cfg.Logf("tcpnet[%d]: gob encode to %d: %v", p.t.cfg.Self, p.id, err)
+				disconnect()
+				continue
+			}
+			if _, err := conn.Write(buf.b); err != nil {
+				disconnect()
+			}
 			continue
 		}
-		if _, err := conn.Write(buf.b); err != nil {
+
+		buf.reset()
+		out, err := wire.AppendEnvelope(buf.b, int32(p.t.cfg.Self), payload)
+		if err != nil {
+			// Unencodable payload: drop the message (async-system semantics),
+			// keep the connection. This is a programming error — an
+			// unregistered type — so say so.
+			p.t.cfg.Logf("tcpnet[%d]: wire encode to %d: %v", p.t.cfg.Self, p.id, err)
+			continue
+		}
+		buf.b = out
+		if _, err := conn.Write(out); err != nil {
 			disconnect()
 		}
 	}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// The client protocol: what alc-bench (and any other client) speaks to an
+// alc-node's -client port. Connections open with a CodecClient handshake in
+// both directions, then exchange pipelined frames: requests flow in, tagged
+// responses flow back in completion order (NOT request order — concurrent
+// requests on one connection finish independently), matched by Seq.
+
+// Op is a client request operation.
+type Op byte
+
+// Client operations.
+const (
+	// OpPing round-trips without touching the store (liveness, latency floor).
+	OpPing Op = 1
+	// OpGet reads a key with a local read-only transaction.
+	OpGet Op = 2
+	// OpSet writes Arg to a key with a replicated transaction.
+	OpSet Op = 3
+	// OpInc atomically adds Arg to a key (created at Arg if absent) and
+	// returns the new value.
+	OpInc Op = 4
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpInc:
+		return "inc"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Status is a client response disposition.
+type Status byte
+
+// Client response statuses.
+const (
+	// StatusOK carries a successful result in Value.
+	StatusOK Status = 0
+	// StatusNotFound reports a Get on an absent key.
+	StatusNotFound Status = 1
+	// StatusErr reports a failed operation; Err holds the message.
+	StatusErr Status = 2
+	// StatusOverloaded reports admission-control shedding: the request was
+	// NOT executed and the client should retry after backing off. It is the
+	// protocol's one retryable-by-contract status.
+	StatusOverloaded Status = 3
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not_found"
+	case StatusErr:
+		return "error"
+	case StatusOverloaded:
+		return "overloaded"
+	}
+	return fmt.Sprintf("status(%d)", byte(s))
+}
+
+// Request is one client operation. Seq is chosen by the client and echoed in
+// the response; it must be unique among the connection's in-flight requests.
+type Request struct {
+	Seq uint64
+	Op  Op
+	Key string
+	Arg int64
+}
+
+// Response answers one Request.
+type Response struct {
+	Seq    uint64
+	Status Status
+	Value  int64
+	Err    string
+}
+
+// Client-frame body tags (the byte after the frame version).
+const (
+	clientTagRequest  byte = 0x01
+	clientTagResponse byte = 0x02
+)
+
+// MaxClientFrame caps client-port frames: requests and responses are small
+// (an op, a key, a value), so anything near the replica-port cap is hostile.
+const MaxClientFrame = 1 << 20
+
+// MaxKeyLen bounds request keys at the protocol level.
+const MaxKeyLen = 64 << 10
+
+// AppendRequest appends a sealed request frame.
+func AppendRequest(b []byte, q Request) []byte {
+	start := len(b)
+	b = BeginFrame(b)
+	b = append(b, clientTagRequest, byte(q.Op))
+	b = AppendUvarint(b, q.Seq)
+	b = AppendString(b, q.Key)
+	b = AppendVarint(b, q.Arg)
+	return FinishFrame(b, start)
+}
+
+// AppendResponse appends a sealed response frame.
+func AppendResponse(b []byte, p Response) []byte {
+	start := len(b)
+	b = BeginFrame(b)
+	b = append(b, clientTagResponse, byte(p.Status))
+	b = AppendUvarint(b, p.Seq)
+	b = AppendVarint(b, p.Value)
+	b = AppendString(b, p.Err)
+	return FinishFrame(b, start)
+}
+
+// DecodeClientFrame decodes one client-port frame body (version byte already
+// stripped by ReadFrame) into a Request or Response.
+func DecodeClientFrame(body []byte) (any, error) {
+	r := NewReader(body)
+	tag := r.Byte()
+	switch tag {
+	case clientTagRequest:
+		var q Request
+		q.Op = Op(r.Byte())
+		q.Seq = r.Uvarint()
+		q.Key = r.String()
+		q.Arg = r.Varint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if r.Len() != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes after request", r.Len())
+		}
+		if len(q.Key) > MaxKeyLen {
+			return nil, fmt.Errorf("%w: %d-byte key", ErrOversize, len(q.Key))
+		}
+		switch q.Op {
+		case OpPing, OpGet, OpSet, OpInc:
+		default:
+			return nil, fmt.Errorf("wire: unknown client op %d", byte(q.Op))
+		}
+		return q, nil
+	case clientTagResponse:
+		var p Response
+		p.Status = Status(r.Byte())
+		p.Seq = r.Uvarint()
+		p.Value = r.Varint()
+		p.Err = r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if r.Len() != 0 {
+			return nil, fmt.Errorf("wire: %d trailing bytes after response", r.Len())
+		}
+		switch p.Status {
+		case StatusOK, StatusNotFound, StatusErr, StatusOverloaded:
+		default:
+			return nil, fmt.Errorf("wire: unknown client status %d", byte(p.Status))
+		}
+		return p, nil
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("wire: unknown client frame tag 0x%02x", tag)
+}

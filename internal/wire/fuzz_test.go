@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzWireFrame feeds arbitrary bytes through every inbound decode surface —
+// handshake, frame reader, envelope decoder, client-frame decoder — and
+// enforces the hostile-input invariants: never panic, never hand back a body
+// larger than the frame cap, and always return either an error or a valid
+// message. (Mirrors FuzzWALRecord for the durability tier.)
+func FuzzWireFrame(f *testing.F) {
+	// Seeds: a valid handshake, a valid envelope frame, a valid client
+	// request, and a few classic off-by-ones.
+	f.Add(AppendHandshake(nil, CodecWire))
+	if env, err := AppendEnvelope(nil, 3, "seed payload"); err == nil {
+		f.Add(env)
+	}
+	f.Add(AppendRequest(nil, Request{Seq: 9, Op: OpInc, Key: "k", Arg: 2}))
+	f.Add(AppendResponse(nil, Response{Seq: 9, Status: StatusOverloaded, Err: "retry"}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, Version})
+	f.Add([]byte{1, 0, 0, 0, Version})
+	f.Add([]byte{})
+
+	const maxBody = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Handshake validation must not panic on any prefix.
+		_ = ReadHandshake(bytes.NewReader(data), CodecWire)
+
+		// Frame extraction: any returned body respects the cap.
+		var buf []byte
+		r := bytes.NewReader(data)
+		for {
+			body, nbuf, err := ReadFrame(r, buf, maxBody)
+			buf = nbuf
+			if err != nil {
+				if err != io.EOF && len(data) == 0 {
+					t.Fatalf("empty input gave %v, want io.EOF", err)
+				}
+				break
+			}
+			if len(body) > maxBody {
+				t.Fatalf("ReadFrame returned %d-byte body past cap %d", len(body), maxBody)
+			}
+			// Both protocol decoders must yield (message, nil) or (nil, err);
+			// a nil message with a nil error is a silent corruption.
+			if from, payload, err := DecodeEnvelope(body); err == nil {
+				_ = from
+				_ = payload // nil payload is legal: tagNil encodes Go nil
+			}
+			if msg, err := DecodeClientFrame(body); err == nil {
+				switch m := msg.(type) {
+				case Request:
+					switch m.Op {
+					case OpPing, OpGet, OpSet, OpInc:
+					default:
+						t.Fatalf("decoder accepted invalid op %d", m.Op)
+					}
+					if len(m.Key) > MaxKeyLen {
+						t.Fatalf("decoder accepted %d-byte key", len(m.Key))
+					}
+				case Response:
+					switch m.Status {
+					case StatusOK, StatusNotFound, StatusErr, StatusOverloaded:
+					default:
+						t.Fatalf("decoder accepted invalid status %d", m.Status)
+					}
+				default:
+					t.Fatalf("DecodeClientFrame returned %T", msg)
+				}
+			}
+		}
+
+		// The raw tagged-value decoder over the same bytes, sans framing.
+		rr := NewReader(data)
+		if _, err := ReadAny(rr); err == nil && rr.Err() != nil {
+			t.Fatalf("ReadAny returned nil error with latched reader error %v", rr.Err())
+		}
+	})
+}
+
+// FuzzWireMessage builds structurally valid messages from fuzzed fields and
+// asserts the roundtrip property: decode(encode(m)) == m, exactly, with no
+// trailing bytes, for the client protocol and the envelope path.
+func FuzzWireMessage(f *testing.F) {
+	f.Add(uint64(1), byte(OpSet), "key", int64(-7), byte(StatusErr), "boom", int64(12))
+	f.Add(uint64(0), byte(OpPing), "", int64(0), byte(StatusOK), "", int64(0))
+
+	f.Fuzz(func(t *testing.T, seq uint64, op byte, key string, arg int64,
+		status byte, errMsg string, value int64) {
+		// Clamp fuzzed enums into the valid range: this target checks the
+		// roundtrip property for well-formed messages (FuzzWireFrame owns
+		// hostile input).
+		q := Request{
+			Seq: seq,
+			Op:  Op(op%4 + 1),
+			Key: key,
+			Arg: arg,
+		}
+		if len(q.Key) > MaxKeyLen {
+			q.Key = q.Key[:MaxKeyLen]
+		}
+		body, _, err := ReadFrame(bytes.NewReader(AppendRequest(nil, q)), nil, MaxClientFrame)
+		if err != nil {
+			t.Fatalf("ReadFrame(request %+v): %v", q, err)
+		}
+		got, err := DecodeClientFrame(body)
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", q, err)
+		}
+		if got != q {
+			t.Fatalf("request roundtrip: got %+v, want %+v", got, q)
+		}
+
+		p := Response{Seq: seq, Status: Status(status % 4), Value: value, Err: errMsg}
+		body, _, err = ReadFrame(bytes.NewReader(AppendResponse(nil, p)), nil, MaxClientFrame)
+		if err != nil {
+			t.Fatalf("ReadFrame(response %+v): %v", p, err)
+		}
+		got, err = DecodeClientFrame(body)
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("response roundtrip: got %+v, want %+v", got, p)
+		}
+
+		// Envelope path with each primitive payload shape the protocol uses.
+		for _, payload := range []any{key, arg, seq, key != "", []byte(errMsg), nil} {
+			if bs, ok := payload.([]byte); ok && len(bs) == 0 {
+				payload = []byte(nil) // empty slices decode to nil by convention
+			}
+			frame, err := AppendEnvelope(nil, int32(arg), payload)
+			if err != nil {
+				t.Fatalf("AppendEnvelope(%#v): %v", payload, err)
+			}
+			body, _, err := ReadFrame(bytes.NewReader(frame), nil, 0)
+			if err != nil {
+				t.Fatalf("ReadFrame(envelope %#v): %v", payload, err)
+			}
+			from, gotPayload, err := DecodeEnvelope(body)
+			if err != nil {
+				t.Fatalf("DecodeEnvelope(%#v): %v", payload, err)
+			}
+			if from != int32(arg) {
+				t.Fatalf("envelope from = %d, want %d", from, int32(arg))
+			}
+			switch want := payload.(type) {
+			case []byte:
+				if !bytes.Equal(gotPayload.([]byte), want) {
+					t.Fatalf("envelope payload = %#v, want %#v", gotPayload, want)
+				}
+			default:
+				if gotPayload != payload {
+					t.Fatalf("envelope payload = %#v, want %#v", gotPayload, payload)
+				}
+			}
+		}
+	})
+}
