@@ -104,6 +104,12 @@ type Config struct {
 	// item, the paper's evaluation setting. Smaller values trade message
 	// size for false sharing. Ignored by CERT.
 	ConflictClasses int
+	// Shards partitions the conflict classes across this many independent
+	// lease/broadcast groups, each with its own sequencer and lease manager.
+	// Transactions whose data-set spans groups commit through the cross-shard
+	// certification path (ALC only; CERT returns an error for them). Zero or
+	// one runs the classic single-group protocol.
+	Shards int
 	// DisableOptimisticFree turns off the §4.5(b) optimization (freeing
 	// leases at optimistic delivery). On by default.
 	DisableOptimisticFree bool
@@ -155,6 +161,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		N: cfg.Replicas,
 		Core: core.Config{
 			Protocol: proto,
+			Shards:   cfg.Shards,
 			Lease: lease.Config{
 				Mapper:            lease.Mapper{NumClasses: cfg.ConflictClasses},
 				OptimisticFree:    !cfg.DisableOptimisticFree,

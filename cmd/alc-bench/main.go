@@ -12,7 +12,7 @@
 //	alc-bench -experiment ablation-bloom     # D2STM Bloom size/abort trade-off
 //	alc-bench -experiment ablation-routing   # live affinity routing vs oblivious placement
 //	alc-bench -experiment ablation-batch     # group-commit batching + parallel apply
-//	alc-bench -experiment netload            # real-TCP gob-vs-wire codec A/B
+//	alc-bench -experiment netload            # real-TCP end-to-end, binary wire codec
 //	alc-bench -experiment all
 //
 // Scale knobs: -replicas (comma list), -duration per cell, -latency one-way
@@ -54,7 +54,7 @@ func main() {
 
 func run() error {
 	var (
-		experiment   = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|ablation-routing|ablation-batch|netload|all")
+		experiment   = flag.String("experiment", "all", "fig3a|fig3b|fig4|latency|ablation-opt|ablation-cc|ablation-bloom|ablation-locality|ablation-routing|ablation-batch|ablation-shard|netload|all")
 		replicaArg   = flag.String("replicas", "2,3,4,5,6,7,8", "comma-separated cluster sizes for the sweeps")
 		duration     = flag.Duration("duration", 2*time.Second, "measured duration per throughput cell")
 		latCommits   = flag.Int("latency-commits", 300, "commits per latency cell")
@@ -241,16 +241,29 @@ func run() error {
 			if len(replicas) > 0 {
 				n = replicas[0]
 			}
-			rows, err := bench.RunNetload([]string{"gob", "wire"}, bench.NetloadConfig{
+			rows, err := bench.RunNetload(bench.NetloadConfig{
 				Replicas: n, Duration: *duration, Warmup: 300 * time.Millisecond,
 			})
 			if err != nil {
 				return err
 			}
 			bench.PrintAblation(os.Stdout,
-				fmt.Sprintf("Ablation — real-TCP frame codec: legacy gob vs binary wire (n=%d)", n), rows)
+				fmt.Sprintf("Netload — real TCP end to end, binary wire codec (n=%d)", n), rows)
 			if csvw != nil {
 				return csvw.WriteAblation("netload", rows)
+			}
+			return nil
+		},
+		"ablation-shard": func() error {
+			const n = 4
+			rows, err := bench.RunAblationShard(n, []int{1, 2, 4}, *duration)
+			if err != nil {
+				return err
+			}
+			bench.PrintAblation(os.Stdout,
+				fmt.Sprintf("Ablation — horizontal sharding: S lease/broadcast groups under lease rotation (n=%d, disjoint + 10%% cross-shard mixes)", n), rows)
+			if csvw != nil {
+				return csvw.WriteAblation("ablation-shard", rows)
 			}
 			return nil
 		},
@@ -268,7 +281,7 @@ func run() error {
 		},
 	}
 
-	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality", "ablation-routing", "ablation-batch", "netload"}
+	order := []string{"fig3a", "fig3b", "fig4", "latency", "ablation-opt", "ablation-cc", "ablation-bloom", "ablation-locality", "ablation-routing", "ablation-batch", "ablation-shard", "netload"}
 	if *experiment != "all" {
 		fn, ok := experiments[*experiment]
 		if !ok {

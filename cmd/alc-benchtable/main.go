@@ -1,0 +1,134 @@
+// Command alc-benchtable regenerates the bench-trajectory table in
+// EXPERIMENTS.md from the BENCH_PR*.json records, so the headline perf
+// result of every PR is visible at a glance and a missing or stale row is a
+// CI failure, not a doc drift.
+//
+//	go run ./cmd/alc-benchtable           # rewrite the table in place
+//	go run ./cmd/alc-benchtable -check    # exit 1 if the table is stale (CI)
+//
+// The table lives between the <!-- bench-trajectory:begin/end --> markers;
+// everything outside them is left untouched. PRs without a BENCH_PR<n>.json
+// record (refactors, test/infra PRs) get an explicit "no bench record" row
+// so the numbering gaps stay visible rather than silently compressed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	beginMarker = "<!-- bench-trajectory:begin -->"
+	endMarker   = "<!-- bench-trajectory:end -->"
+)
+
+type record struct {
+	PR       string `json:"pr"`
+	Date     string `json:"date"`
+	Headline string `json:"headline"`
+}
+
+func main() {
+	check := flag.Bool("check", false, "verify the table is current; exit nonzero if stale")
+	dir := flag.String("dir", ".", "repository root holding BENCH_PR*.json and EXPERIMENTS.md")
+	flag.Parse()
+	if err := run(*dir, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "alc-benchtable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, check bool) error {
+	table, err := buildTable(dir)
+	if err != nil {
+		return err
+	}
+
+	expPath := filepath.Join(dir, "EXPERIMENTS.md")
+	doc, err := os.ReadFile(expPath)
+	if err != nil {
+		return err
+	}
+	begin := strings.Index(string(doc), beginMarker)
+	end := strings.Index(string(doc), endMarker)
+	if begin < 0 || end < 0 || end < begin {
+		return fmt.Errorf("%s: bench-trajectory markers missing or out of order", expPath)
+	}
+	updated := string(doc[:begin]) + beginMarker + "\n" + table + endMarker + string(doc[end+len(endMarker):])
+
+	if check {
+		if updated != string(doc) {
+			return fmt.Errorf("EXPERIMENTS.md bench-trajectory table is stale; run: go run ./cmd/alc-benchtable")
+		}
+		return nil
+	}
+	if updated == string(doc) {
+		return nil
+	}
+	return os.WriteFile(expPath, []byte(updated), 0o644)
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+func buildTable(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	recs := make(map[int]record)
+	maxPR := 0
+	for _, e := range entries {
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return "", err
+		}
+		var r record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return "", fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if r.Headline == "" {
+			return "", fmt.Errorf("%s: missing \"headline\" field", e.Name())
+		}
+		recs[n] = r
+		if n > maxPR {
+			maxPR = n
+		}
+	}
+	if maxPR == 0 {
+		return "", fmt.Errorf("no BENCH_PR<n>.json records found in %s", dir)
+	}
+
+	var b strings.Builder
+	b.WriteString("| PR | Date | Headline result |\n|---|---|---|\n")
+	nums := make([]int, 0, maxPR)
+	for n := 1; n <= maxPR; n++ {
+		nums = append(nums, n)
+	}
+	sort.Ints(nums)
+	for _, n := range nums {
+		r, ok := recs[n]
+		if !ok {
+			fmt.Fprintf(&b, "| %d | — | no bench record (non-perf PR; see CHANGES.md) |\n", n)
+			continue
+		}
+		fmt.Fprintf(&b, "| %d | %s | %s (record: `BENCH_PR%d.json`) |\n", n, r.Date, escape(r.Headline), n)
+	}
+	return b.String(), nil
+}
+
+// escape keeps a headline from breaking the markdown table.
+func escape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -8,10 +8,12 @@
 // A replica that crashed can be restarted with -join to rejoin through the
 // group's state transfer.
 //
-// Replica links speak the binary wire codec by default; -codec=gob keeps the
-// legacy gob framing for one release (every node must agree). -client opens
-// the wire client protocol front door with admission control (-max-inflight,
-// -max-pending); drive it with alc-bench -loadgen or the clientsrv package.
+// Replica links speak the binary wire codec; a peer from the retired
+// gob-framing release is refused at handshake. -shards splits the conflict
+// classes across that many independent lease/broadcast groups (see README
+// "Horizontal sharding"; every node must agree). -client opens the wire client
+// protocol front door with admission control (-max-inflight, -max-pending);
+// drive it with alc-bench -loadgen or the clientsrv package.
 //
 // Commands on stdin:
 //
@@ -55,13 +57,13 @@ func run() error {
 		id        = flag.Int("id", -1, "this replica's ID")
 		peers     = flag.String("peers", "", "comma-separated id=host:port list for every replica")
 		protocol  = flag.String("protocol", "alc", "alc or cert")
+		shards    = flag.Int("shards", 1, "independent lease/broadcast shard groups (alc only; must match on every node)")
 		join      = flag.Bool("join", false, "rejoin a running group via state transfer")
 		httpAddr  = flag.String("http", "", "serve /metrics, /debug/alc and /debug/pprof on this address (e.g. :8080)")
 		dataDir   = flag.String("data-dir", "", "directory for the write-ahead log and store snapshots (empty = no durability)")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: always, interval or off")
 		fsyncInt  = flag.Duration("fsync-interval", 5*time.Millisecond, "fsync cadence under -fsync=interval")
 		snapEvery = flag.Int("snapshot-every", 0, "take a store snapshot and truncate the WAL every N applied write-sets (0 = default 4096, negative = never)")
-		codec     = flag.String("codec", tcpnet.CodecWire, "inter-replica frame codec: wire (binary) or gob (legacy fallback); must match on every node")
 		client    = flag.String("client", "", "serve the wire client protocol on this address (e.g. :7100; empty = no client port)")
 		inflight  = flag.Int("max-inflight", 0, "admission: concurrently executing client requests per connection (0 = default 64)")
 		pending   = flag.Int("max-pending", 0, "admission: server-wide executing client requests before shedding with the retryable overloaded status (0 = default 1024)")
@@ -81,7 +83,7 @@ func run() error {
 	core.RegisterWire()
 	core.RegisterValue(0) // int box values
 
-	tr, err := tcpnet.New(tcpnet.Config{Self: transport.ID(*id), Addrs: addrs, Codec: *codec})
+	tr, err := tcpnet.New(tcpnet.Config{Self: transport.ID(*id), Addrs: addrs})
 	if err != nil {
 		return err
 	}
@@ -93,6 +95,7 @@ func run() error {
 	}
 	replica, err := core.NewReplica(tr, core.Config{
 		Protocol: proto,
+		Shards:   *shards,
 		Lease:    lease.Config{OptimisticFree: true, DeadlockDetection: true},
 		Durability: core.DurabilityConfig{
 			Dir:           *dataDir,

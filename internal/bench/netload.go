@@ -15,7 +15,7 @@ import (
 	"github.com/alcstm/alc/internal/transport"
 )
 
-// NetloadConfig parameterizes the real-TCP codec A/B experiment.
+// NetloadConfig parameterizes the real-TCP end-to-end experiment.
 type NetloadConfig struct {
 	// Replicas is the cluster size (paper setting: 4).
 	Replicas int
@@ -43,31 +43,27 @@ func (c *NetloadConfig) fillDefaults() {
 }
 
 // RunNetload runs the replicated STM over real loopback TCP — the exact
-// cmd/alc-node stack — once per requested codec and reports each run's
-// committed-transaction throughput. It is the end-to-end half of the
-// gob-vs-wire ablation (BenchmarkCodec* is the microscopic half).
-func RunNetload(codecs []string, cfg NetloadConfig) ([]AblationRow, error) {
+// cmd/alc-node stack, binary wire codec — and reports committed-transaction
+// throughput. It is the end-to-end half of the codec benchmark
+// (BenchmarkCodec* in internal/core is the microscopic half).
+func RunNetload(cfg NetloadConfig) ([]AblationRow, error) {
 	cfg.fillDefaults()
 	gcs.RegisterWire()
 	core.RegisterWire()
 	core.RegisterValue(0)
 
-	rows := make([]AblationRow, 0, len(codecs))
-	for _, codec := range codecs {
-		res, err := runNetloadOnce(codec, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("bench: netload %s: %w", codec, err)
-		}
-		rows = append(rows, AblationRow{
-			Variant: fmt.Sprintf("tcp codec %s", codec),
-			Result:  res,
-			Extra:   fmt.Sprintf("n=%d threads=%d", cfg.Replicas, cfg.Threads),
-		})
+	res, err := runNetloadOnce(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: netload: %w", err)
 	}
-	return rows, nil
+	return []AblationRow{{
+		Variant: "tcp codec wire",
+		Result:  res,
+		Extra:   fmt.Sprintf("n=%d threads=%d", cfg.Replicas, cfg.Threads),
+	}}, nil
 }
 
-func runNetloadOnce(codec string, cfg NetloadConfig) (Throughput, error) {
+func runNetloadOnce(cfg NetloadConfig) (Throughput, error) {
 	ids := make([]transport.ID, cfg.Replicas)
 	for i := range ids {
 		ids[i] = transport.ID(i)
@@ -80,7 +76,6 @@ func runNetloadOnce(codec string, cfg NetloadConfig) (Throughput, error) {
 		tmp, err := tcpnet.New(tcpnet.Config{
 			Self:  id,
 			Addrs: map[transport.ID]string{id: "127.0.0.1:0"},
-			Codec: codec,
 		})
 		if err != nil {
 			return Throughput{}, err
@@ -98,7 +93,7 @@ func runNetloadOnce(codec string, cfg NetloadConfig) (Throughput, error) {
 		}
 	}()
 	for _, id := range ids {
-		tr, err := tcpnet.New(tcpnet.Config{Self: id, Addrs: addrs, Codec: codec})
+		tr, err := tcpnet.New(tcpnet.Config{Self: id, Addrs: addrs})
 		if err != nil {
 			return Throughput{}, err
 		}

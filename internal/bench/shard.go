@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/alcstm/alc/internal/core"
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/stm"
+)
+
+// RunAblationShard measures horizontal sharding: the conflict classes
+// partitioned across S independent lease/broadcast groups, each with its own
+// sequencer. The workload is sharded counters under lease rotation — counter
+// c is incremented by threads on two different replicas, so its lease
+// ping-pongs and every rotation costs one OAB on the counter's home group.
+// At S=1 those requests serialize through ONE paced sequencer (the
+// calibrated ~1.2ms/message atomic broadcast is the paper's bottleneck);
+// at S>1 each group orders independently, so aggregate lease throughput —
+// and with it commit throughput — scales with S.
+//
+// Two mixes per shard count:
+//
+//   - disjoint — every transaction touches one counter, i.e. exactly one
+//     group; nothing crosses shards (the pure horizontal-scaling case);
+//   - 10% cross — every tenth transaction also increments a partner counter
+//     chosen from a DIFFERENT group (under that cell's S), committing
+//     through the cross-shard certification path.
+//
+// The box set and access pattern are identical across shard counts; only
+// the partition varies.
+func RunAblationShard(replicas int, shardCounts []int, duration time.Duration) ([]AblationRow, error) {
+	if duration <= 0 {
+		duration = time.Second
+	}
+	const threadsPerReplica = 8
+	counters := replicas * threadsPerReplica
+	ids := make([]string, counters)
+	seed := make(map[string]stm.Value, counters)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("ctr:%03d", i)
+		seed[ids[i]] = 0
+	}
+
+	rows := make([]AblationRow, 0, 2*len(shardCounts))
+	for _, s := range shardCounts {
+		for _, crossFrac := range []float64{0, 0.10} {
+			res, cross, err := runShardCell(replicas, s, crossFrac, threadsPerReplica, ids, seed, duration)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation-shard S=%d cross=%.0f%%: %w", s, 100*crossFrac, err)
+			}
+			name := fmt.Sprintf("S=%d disjoint", s)
+			extra := ""
+			if crossFrac > 0 {
+				name = fmt.Sprintf("S=%d 10%% cross", s)
+				extra = fmt.Sprintf("%d cross-shard commits", cross)
+			}
+			rows = append(rows, AblationRow{Variant: name, Result: res, Extra: extra})
+		}
+	}
+	return rows, nil
+}
+
+func runShardCell(replicas, shards int, crossFrac float64, threadsPerReplica int,
+	ids []string, seed map[string]stm.Value, duration time.Duration) (Throughput, int64, error) {
+	p := Params{Protocol: core.ProtocolALC, Replicas: replicas, Shards: shards}
+	c, err := NewCluster(p, seed)
+	if err != nil {
+		return Throughput{}, 0, err
+	}
+	defer c.Close()
+
+	// partner[i]: a counter homed on a different group than counter i (the
+	// cross-shard mix pairs them). With S=1 no such counter exists; the
+	// next counter keeps the two-box access pattern identical, just
+	// single-group.
+	var mapper lease.Mapper
+	partner := make([]int, len(ids))
+	for i := range ids {
+		partner[i] = (i + 1) % len(ids)
+		home := lease.ShardOf(mapper.ClassOf(ids[i]), shards)
+		for d := 1; d < len(ids); d++ {
+			j := (i + d) % len(ids)
+			if lease.ShardOf(mapper.ClassOf(ids[j]), shards) != home {
+				partner[i] = j
+				break
+			}
+		}
+	}
+
+	incr := func(boxes ...string) func(*stm.Txn) error {
+		return func(tx *stm.Txn) error {
+			for _, id := range boxes {
+				v, err := tx.Read(id)
+				if err != nil {
+					return err
+				}
+				if err := tx.Write(id, v.(int)+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		stop = make(chan struct{})
+		errs = make(chan error, replicas*threadsPerReplica)
+	)
+	reps := c.Replicas()
+	for r := range reps {
+		for t := 0; t < threadsPerReplica; t++ {
+			wg.Add(1)
+			go func(r, t int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(r*threadsPerReplica + t + 1)))
+				// own rotates with a committer on the next replica: counter
+				// `alt` is also incremented by that replica's thread t, so
+				// its lease ping-pongs between the two (every rotation is
+				// one OAB on the counter's home group).
+				own := r*threadsPerReplica + t
+				alt := ((r+1)%len(reps))*threadsPerReplica + t
+				for round := 0; ; round++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					target := own
+					if round%2 == 1 {
+						target = alt
+					}
+					body := incr(ids[target])
+					if crossFrac > 0 && rng.Float64() < crossFrac {
+						body = incr(ids[target], ids[partner[target]])
+					}
+					if err := reps[r].Atomic(body); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(r, t)
+		}
+	}
+	start := time.Now()
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return Throughput{}, 0, err
+	}
+	res := summarize(p, c, time.Since(start))
+	var cross int64
+	for _, r := range reps {
+		cross += r.Stats().CrossCommits
+	}
+	return res, cross, nil
+}

@@ -64,12 +64,16 @@ func (r *Replica) AtomicRO(fn func(*stm.Txn) error) error {
 //	  shelters the transaction from further remote conflicts
 //	UR-broadcast the write-set and wait for the self-delivery (uniformity)
 func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
+	if len(r.shards) > 1 {
+		return r.atomicALCSharded(fn)
+	}
 	// escalateAfter is the §4.4 fallback threshold: a transaction whose
 	// data-set keeps drifting across this many re-executions acquires a
 	// wildcard lease (the whole set of conflict classes), which
 	// deterministically bounds its aborts.
 	const escalateAfter = 3
 
+	s := r.shards[0]
 	var (
 		held     lease.RequestID
 		holding  bool
@@ -89,7 +93,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 	)
 	releaseHeld := func() {
 		if holding {
-			r.lm.Finished(held)
+			s.lm.Finished(held)
 			holding = false
 		}
 	}
@@ -170,14 +174,14 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		if aborts >= escalateAfter && !wildcard {
 			var old lease.RequestID
 			if holding {
-				if r.lm.ActiveCount(held) == 1 {
+				if s.lm.ActiveCount(held) == 1 {
 					old = held
 				} else {
-					r.lm.Finished(held)
+					s.lm.Finished(held)
 				}
 				holding = false
 			}
-			id, err := r.lm.GetLeaseEverything(old)
+			id, err := s.lm.GetLeaseEverything(old)
 			if lerr := r.leaseErr(txn, err, &aborts); lerr != nil {
 				return lerr
 			}
@@ -188,10 +192,10 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		}
 
 		// Lease establishment.
-		if holding && !r.lm.Covers(held, items) {
+		if holding && !s.lm.Covers(held, items) {
 			// The re-execution changed its conflict classes (§4.4).
-			if r.lm.ActiveCount(held) == 1 {
-				id, err := r.lm.GetLeaseReplacing(items, held)
+			if s.lm.ActiveCount(held) == 1 {
+				id, err := s.lm.GetLeaseReplacing(items, held)
 				holding = false
 				if lerr := r.leaseErr(txn, err, &aborts); lerr != nil {
 					return lerr
@@ -203,17 +207,17 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			} else {
 				// Other transactions share the lease: release our
 				// association and acquire separately.
-				r.lm.Finished(held)
+				s.lm.Finished(held)
 				holding = false
 			}
 		}
 		if !holding {
 			// Lease retention fast path: an enabled request from an earlier
 			// transaction serves this one with zero communication.
-			if id, ok := r.lm.TryReuse(items); ok {
+			if id, ok := s.lm.TryReuse(items); ok {
 				held, holding = id, true
-			} else if r.cfg.PiggybackCert && !r.lm.HasCoverage(items) {
-				done, err := r.commitPiggybacked(txn, rs, ws, items, &held, &holding, &aborts, remoteSheltered, txnStart, leaseStart)
+			} else if r.cfg.PiggybackCert && !s.lm.HasCoverage(items) {
+				done, err := r.commitPiggybacked(s, txn, rs, ws, items, &held, &holding, &aborts, remoteSheltered, txnStart, leaseStart)
 				if done {
 					releaseHeld()
 					return err
@@ -222,7 +226,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 			}
 		}
 		if !holding {
-			id, err := r.lm.GetLease(items)
+			id, err := s.lm.GetLease(items)
 			if lerr := r.leaseErr(txn, err, &aborts); lerr != nil {
 				return lerr
 			}
@@ -272,7 +276,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		ch := r.registerWaiter(tid)
 		if r.cfg.Batch.Disable {
 			r.markSent([]stm.TxnID{tid}, time.Now())
-			if err := r.gcsEP.URBroadcast(&applyWSMsg{TxnID: tid, LeaseID: held, WS: ws}); err != nil {
+			if err := s.ep.URBroadcast(&applyWSMsg{TxnID: tid, LeaseID: held, WS: ws}); err != nil {
 				r.inflight.release(wsCls)
 				r.dropWaiter(tid)
 				txn.Abort()
@@ -281,7 +285,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 		} else {
 			// The coalescer now owns the reservation and the waiter: both
 			// are resolved at self-delivery (or failed on ejection).
-			r.coal.enqueue(applyWSEntry{TxnID: tid, LeaseID: held, WS: ws}, wsCls)
+			s.coal.enqueue(applyWSEntry{TxnID: tid, LeaseID: held, WS: ws}, wsCls)
 		}
 
 		if err := <-ch; err != nil {
@@ -311,6 +315,7 @@ func (r *Replica) atomicALC(fn func(*stm.Txn) error) error {
 // done=true when the transaction committed or failed terminally; done=false
 // when it must re-execute (now holding the lease).
 func (r *Replica) commitPiggybacked(
+	s *shardState,
 	txn *stm.Txn,
 	rs stm.ReadSet,
 	ws stm.WriteSet,
@@ -324,7 +329,7 @@ func (r *Replica) commitPiggybacked(
 ) (bool, error) {
 	tid := r.nextTxnID()
 	ch := r.registerWaiter(tid)
-	id, err := r.lm.GetLeaseWithPayload(items, &certPayload{TxnID: tid, RS: rs, WS: ws})
+	id, err := s.lm.GetLeaseWithPayload(items, &certPayload{TxnID: tid, RS: rs, WS: ws})
 	if err != nil {
 		r.dropWaiter(tid)
 		if lerr := r.leaseErr(txn, err, aborts); lerr != nil {

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"github.com/alcstm/alc/internal/gcs"
+	"github.com/alcstm/alc/internal/lease"
+	"github.com/alcstm/alc/internal/stm"
+)
+
+// atomicALCSharded is the multi-group variant of atomicALC: the transaction's
+// conflict classes map onto one or more shard groups, leases are established
+// per group, and the write-set travels as per-shard portions on each home
+// group's URB channel.
+//
+// Cross-shard certification commit (the ISSUE's prepare/certify/decide):
+//
+//   - prepare — leases are acquired on every involved shard, in ascending
+//     shard order; before blocking on shard k every held lease on a shard
+//     > k is released, which keeps the cross-group wait-graph acyclic (each
+//     group's own manager still detects its in-group deadlocks);
+//   - certify — the per-shard lease grants are the certification votes: once
+//     all involved groups granted, the origin validates the full read-set
+//     against the shared store under the union of the leases;
+//   - decide — the write-set splits into per-shard portions (classes
+//     partition exactly by shard) broadcast under ONE TxnID, each portion
+//     WAL-logged and frontier-tracked on its home shard like any
+//     single-shard commit. The commit is acknowledged only when the LAST
+//     portion self-delivers (counting waiter): an acknowledged cross-shard
+//     commit is therefore complete on every shard at every replica — URB
+//     uniformity per portion. If the origin fails mid-decide, unacknowledged
+//     portions may surface as unrecorded writers (exactly the standing
+//     indeterminacy of a crashed single-shard committer, which the history
+//     checker admits); they can never be acknowledged.
+//
+// A lease-free read-only transaction on a remote replica can transiently
+// observe a cross-shard commit non-atomically (portion A applied, portion B
+// in flight); update transactions cannot — validation runs under leases on
+// every involved shard. See DESIGN.md decision 17.
+func (r *Replica) atomicALCSharded(fn func(*stm.Txn) error) error {
+	const escalateAfter = 3
+
+	var (
+		held            = make(map[int]lease.RequestID)
+		wildcard        bool
+		fence           bool // re-execute under all-shard wildcards (torn read view)
+		fenceHeld       bool
+		aborts          int
+		remoteSheltered int
+		accum           map[string]struct{}
+	)
+	releaseAll := func() {
+		for sh, id := range held {
+			r.shards[sh].lm.Finished(id)
+			delete(held, sh)
+		}
+	}
+	defer releaseAll()
+	// releaseAbove drops held leases on shards above limit: called before any
+	// blocking acquisition on shard `limit`, it enforces the ascending-order
+	// invariant of the prepare phase.
+	releaseAbove := func(limit int) {
+		for sh, id := range held {
+			if sh > limit {
+				r.shards[sh].lm.Finished(id)
+				delete(held, sh)
+			}
+		}
+	}
+
+	txnStart := time.Now()
+	for {
+		if r.stopped.Load() {
+			return ErrStopped
+		}
+		if !r.primary.Load() {
+			return ErrEjected
+		}
+		if r.cfg.MaxRetries > 0 && aborts > r.cfg.MaxRetries {
+			return ErrTooManyRetries
+		}
+
+		// Torn-read-view fence: acquire wildcard leases on EVERY shard before
+		// taking the snapshot. Acquiring a shard's wildcard drains that
+		// shard's group and is causally ordered after every acknowledged
+		// commit's portion on it, so the snapshot taken under all of them
+		// observes each cross-shard commit entirely or not at all.
+		if fence && !fenceHeld {
+			releaseAll()
+			var zero lease.RequestID
+			ok := true
+			for sh := range r.shards {
+				id, err := r.shards[sh].lm.GetLeaseEverything(zero)
+				switch {
+				case err == nil:
+					held[sh] = id
+				case errors.Is(err, lease.ErrDeadlock):
+					r.nAborts.Inc()
+					DebugAbortCounters.Deadlock.Add(1)
+					aborts++
+					releaseAll()
+					ok = false
+				case errors.Is(err, lease.ErrNotPrimary):
+					return ErrEjected
+				default:
+					return ErrStopped
+				}
+				if !ok {
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			fenceHeld = true
+			wildcard = true // establishment below reuses the fence leases
+		}
+
+		// Snapshot the lease state at the top of the attempt: a validation
+		// failure is only "sheltered" when the SAME leases covered every
+		// involved shard for the whole attempt, execution included.
+		heldAtBegin := make(map[int]lease.RequestID, len(held))
+		for sh, id := range held {
+			heldAtBegin[sh] = id
+		}
+
+		execStart := time.Now()
+		txn := r.store.Begin(false)
+		if err := fn(txn); err != nil {
+			txn.Abort()
+			// A missing box during optimistic execution can be a transiently
+			// torn READ view of a cross-shard commit: the portion creating
+			// the box applied here while a sibling portion this execution
+			// also depends on has not (lease-free reads take no locks; see
+			// DESIGN.md decision 17). Indistinguishable, locally, from a box
+			// that genuinely never existed — so retry once under the fence
+			// above, whose snapshot cannot be torn. Only then is the error
+			// the user's.
+			if errors.Is(err, stm.ErrNoSuchBox) && len(r.shards) > 1 && !fenceHeld {
+				fence = true
+				aborts++
+				continue
+			}
+			return err
+		}
+		r.stageExec.Observe(time.Since(execStart))
+		if !txn.IsUpdate() {
+			txn.Abort()
+			r.nReadOnly.Inc()
+			return nil
+		}
+
+		rs, ws := txn.ReadSet(), txn.WriteSet()
+		items := dataSet(rs, ws)
+		if accum != nil {
+			for _, it := range items {
+				accum[it] = struct{}{}
+			}
+			if len(accum) > len(items) {
+				items = make([]string, 0, len(accum))
+				for it := range accum {
+					items = append(items, it)
+				}
+			}
+		}
+		byShard := r.itemsByShard(items)
+		involved := involvedShards(byShard)
+
+		// Early validation (first attempt only; see atomicALC).
+		if aborts == 0 && len(held) == 0 && !txn.Validate() {
+			txn.Abort()
+			r.nAborts.Inc()
+			DebugAbortCounters.Early.Add(1)
+			aborts++
+			accum = accumulate(accum, items)
+			continue
+		}
+
+		leaseStart := time.Now()
+
+		// §4.4 escalation: wildcard leases on every involved shard. Existing
+		// holds are released first; the establishment loop below acquires the
+		// wildcards in ascending order like any other lease.
+		if aborts >= escalateAfter && !wildcard {
+			releaseAll()
+			wildcard = true
+		}
+
+		// §4.5(c) piggyback: single-shard transactions only (the payload
+		// certifies in ONE group's order; a cross-shard payload would need
+		// the very cross-group coordination the portion commit provides).
+		if r.cfg.PiggybackCert && !wildcard && len(involved) == 1 {
+			sh := involved[0]
+			s := r.shards[sh]
+			if _, ok := held[sh]; !ok {
+				if id, ok := s.lm.TryReuse(items); ok {
+					held[sh] = id
+				} else if !s.lm.HasCoverage(items) {
+					var (
+						pigHeld    lease.RequestID
+						pigHolding bool
+					)
+					done, err := r.commitPiggybacked(s, txn, rs, ws, items, &pigHeld, &pigHolding, &aborts, remoteSheltered, txnStart, leaseStart)
+					if pigHolding {
+						held[sh] = pigHeld
+					}
+					if done {
+						releaseAll()
+						return err
+					}
+					continue
+				}
+			}
+		}
+
+		// Prepare: per-shard lease establishment, ascending.
+		if lerr, retry := r.establishShardLeases(txn, held, byShard, involved, wildcard, &aborts, releaseAbove); lerr != nil {
+			return lerr
+		} else if retry {
+			continue // deadlock victim somewhere: re-execute from scratch
+		}
+		r.stageLeaseWait.Observe(time.Since(leaseStart))
+
+		// Certify: full-read-set validation under the union of the leases,
+		// serialized against intersecting local committers by the in-flight
+		// reservation (held until the last portion's self-delivery).
+		wsCls := r.wsClasses(ws)
+		certStart := time.Now()
+		if !r.inflight.reserve(r.classes(items), wsCls, r.alive) {
+			txn.Abort()
+			return ErrEjected
+		}
+		valid, conflicts := r.store.ValidateConflicts(txn.Snapshot(), rs)
+		r.stageCert.Observe(time.Since(certStart))
+		if !valid {
+			r.inflight.release(wsCls)
+			txn.Abort()
+			r.nAborts.Inc()
+			DebugAbortCounters.Final.Add(1)
+			unchanged := len(involved) > 0
+			for _, sh := range involved {
+				idB, okB := heldAtBegin[sh]
+				idN, okN := held[sh]
+				if !okB || !okN || idB != idN {
+					unchanged = false
+					break
+				}
+			}
+			if unchanged {
+				for _, c := range conflicts {
+					if !c.Writer.IsZero() && c.Writer.Replica != r.id {
+						remoteSheltered++
+						break
+					}
+				}
+			}
+			aborts++
+			accum = accumulate(accum, items)
+			continue
+		}
+
+		// Decide: broadcast the per-shard portions under one TxnID. seqMu
+		// makes {ID allocation; enqueue of every portion} atomic so no later
+		// local committer can interleave a lower/higher seq out of order on
+		// any channel (the receivers' per-writer frontier filter would
+		// silently drop the inversion).
+		//
+		// A multi-shard write-set travels as ONE gcs.Group: the portions
+		// hold their per-shard outbox positions until all are ready, then
+		// leave the origin in a single transport frame per peer. Without
+		// that, each portion departs on its own dispatcher goroutine and a
+		// crash between two drains tears the commit — one portion achieves
+		// uniform delivery while its sibling was never transmitted.
+		portions := r.wsByShard(ws)
+		var wsShards []int
+		for sh, p := range portions {
+			if len(p) > 0 {
+				wsShards = append(wsShards, sh)
+			}
+		}
+		sort.Ints(wsShards) // group lock order = ascending shard order
+		r.seqMu.Lock()
+		tid := r.nextTxnID()
+		ch := r.registerWaiterN(tid, len(wsShards))
+		var grp *gcs.Group
+		if len(wsShards) > 1 {
+			eps := make([]*gcs.Endpoint, len(wsShards))
+			for i, sh := range wsShards {
+				eps[i] = r.shards[sh].ep
+			}
+			grp = gcs.NewGroup(eps...)
+			r.registerGroup(grp)
+		}
+		if r.cfg.Batch.Disable {
+			r.markSent([]stm.TxnID{tid}, time.Now())
+			var berr error
+			for _, sh := range wsShards {
+				msg := &applyWSMsg{TxnID: tid, LeaseID: held[sh], WS: portions[sh]}
+				if grp != nil {
+					berr = r.shards[sh].ep.URBroadcastGroup(grp, msg)
+				} else {
+					berr = r.shards[sh].ep.URBroadcast(msg)
+				}
+				if berr != nil {
+					break
+				}
+			}
+			if berr != nil {
+				// Group mode: failing the group drops the parts already
+				// queued before anything was transmitted, so the outcome is
+				// determinate — nothing committed anywhere — and every
+				// portion's reservation is ours to release.
+				if grp != nil {
+					grp.Fail()
+					r.unregisterGroup(grp)
+				}
+				for _, sh := range wsShards {
+					r.inflight.release(r.wsClasses(portions[sh]))
+				}
+				r.dropWaiter(tid)
+				r.seqMu.Unlock()
+				txn.Abort()
+				if errors.Is(berr, gcs.ErrStopped) {
+					return ErrStopped
+				}
+				return ErrEjected
+			}
+		} else {
+			// Each shard's coalescer owns its portion's share of the
+			// reservation and the counting waiter: resolved at self-delivery,
+			// failed (whole waiter, first error wins) on ejection.
+			for _, sh := range wsShards {
+				e := applyWSEntry{TxnID: tid, LeaseID: held[sh], WS: portions[sh]}
+				if grp != nil {
+					r.shards[sh].coal.enqueueGroup(e, r.wsClasses(portions[sh]), grp)
+				} else {
+					r.shards[sh].coal.enqueue(e, r.wsClasses(portions[sh]))
+				}
+			}
+		}
+		r.seqMu.Unlock()
+
+		err := <-ch
+		if grp != nil {
+			r.unregisterGroup(grp)
+		}
+		if err != nil {
+			txn.Abort()
+			return err
+		}
+		txn.Finish()
+		r.nCommits.Inc()
+		if len(wsShards) > 1 {
+			r.nCross.Inc()
+		}
+		r.retries.Observe(aborts)
+		r.latency.Observe(time.Since(txnStart))
+		r.observeCommitted(TxnReport{
+			ID:                    tid,
+			Snapshot:              txn.Snapshot(),
+			RS:                    rs,
+			WS:                    ws,
+			Retries:               aborts,
+			RemoteShelteredAborts: remoteSheltered,
+			Protocol:              ProtocolALC,
+			Lease:                 held[wsShards[0]],
+		})
+		return nil
+	}
+}
+
+// establishShardLeases brings held up to covering every involved shard's
+// items, acquiring in ascending shard order with the release-above-before-
+// blocking discipline. Returns a terminal error, or retry=true when some
+// group made the transaction a deadlock victim (aborts already counted).
+func (r *Replica) establishShardLeases(
+	txn *stm.Txn,
+	held map[int]lease.RequestID,
+	byShard [][]string,
+	involved []int,
+	wildcard bool,
+	aborts *int,
+	releaseAbove func(int),
+) (error, bool) {
+	var zero lease.RequestID
+	for _, sh := range involved {
+		s := r.shards[sh]
+		if wildcard {
+			if _, ok := held[sh]; ok {
+				continue // a wildcard lease covers any class of its group
+			}
+			releaseAbove(sh)
+			id, err := s.lm.GetLeaseEverything(zero)
+			if lerr := r.leaseErr(txn, err, aborts); lerr != nil {
+				return lerr, false
+			}
+			if err != nil {
+				return nil, true
+			}
+			held[sh] = id
+			continue
+		}
+		items := byShard[sh]
+		if id, ok := held[sh]; ok {
+			if s.lm.Covers(id, items) {
+				continue
+			}
+			// The re-execution changed this shard's conflict classes (§4.4).
+			if s.lm.ActiveCount(id) == 1 {
+				releaseAbove(sh)
+				nid, err := s.lm.GetLeaseReplacing(items, id)
+				delete(held, sh)
+				if lerr := r.leaseErr(txn, err, aborts); lerr != nil {
+					return lerr, false
+				}
+				if err != nil {
+					return nil, true
+				}
+				held[sh] = nid
+				continue
+			}
+			s.lm.Finished(id)
+			delete(held, sh)
+		}
+		if id, ok := s.lm.TryReuse(items); ok {
+			held[sh] = id
+			continue
+		}
+		releaseAbove(sh)
+		id, err := s.lm.GetLease(items)
+		if lerr := r.leaseErr(txn, err, aborts); lerr != nil {
+			return lerr, false
+		}
+		if err != nil {
+			return nil, true
+		}
+		held[sh] = id
+	}
+	return nil, false
+}

@@ -8,6 +8,13 @@ import (
 	"github.com/alcstm/alc/internal/stm"
 )
 
+// ErrCrossShardCert is returned by the CERT baseline when a transaction's
+// data-set spans more than one shard group: CERT certifies in a single
+// group's total order and has no cross-group commit (that is ALC's
+// cross-shard certification path). Keep CERT workloads shard-aligned, or run
+// one shard group.
+var ErrCrossShardCert = errors.New("core: CERT transaction spans multiple shard groups")
+
 // atomicCert is the CERT baseline (D2STM): optimistic local execution, then
 // one atomic broadcast of ⟨Bloom(read-set), write-set⟩ and a deterministic
 // validation at every replica in the total order. Unlike ALC, nothing
@@ -18,6 +25,7 @@ func (r *Replica) atomicCert(fn func(*stm.Txn) error) error {
 	// End-to-end latency runs from the first attempt; the per-attempt AB
 	// certification round is timed separately into stageCert.
 	txnStart := time.Now()
+	snapOrds := make([]int64, len(r.shards))
 	for {
 		if r.stopped.Load() {
 			return ErrStopped
@@ -27,6 +35,16 @@ func (r *Replica) atomicCert(fn func(*stm.Txn) error) error {
 		}
 		if r.cfg.MaxRetries > 0 && aborts > r.cfg.MaxRetries {
 			return ErrTooManyRetries
+		}
+
+		// Sample every shard's TO commit clock BEFORE the snapshot is taken:
+		// the clock advances synchronously with the store apply (on the
+		// shard's dispatcher), so a pre-Begin sample can only under-state the
+		// transaction's snapshot position — widening the validation window
+		// (possible extra conservative aborts), never narrowing it. The home
+		// shard is only known after execution, hence all shards are sampled.
+		for i, s := range r.shards {
+			snapOrds[i] = s.toOrd.Load()
 		}
 
 		execStart := time.Now()
@@ -51,9 +69,15 @@ func (r *Replica) atomicCert(fn func(*stm.Txn) error) error {
 		}
 
 		rs, ws := txn.ReadSet(), txn.WriteSet()
+		home, err := r.certHomeShard(rs, ws)
+		if err != nil {
+			txn.Abort()
+			return err
+		}
+		s := r.shards[home]
 		msg := &certMsg{
 			TxnID:       r.nextTxnID(),
-			SnapshotOrd: txn.Snapshot(),
+			SnapshotOrd: snapOrds[home],
 			WS:          ws,
 		}
 		if r.cfg.BloomFPRate > 0 {
@@ -66,7 +90,7 @@ func (r *Replica) atomicCert(fn func(*stm.Txn) error) error {
 
 		ch := r.registerWaiter(msg.TxnID)
 		certStart := time.Now()
-		if err := r.gcsEP.OABroadcast(msg); err != nil {
+		if err := s.ep.OABroadcast(msg); err != nil {
 			r.dropWaiter(msg.TxnID)
 			txn.Abort()
 			return ErrEjected
@@ -101,19 +125,63 @@ func (r *Replica) atomicCert(fn func(*stm.Txn) error) error {
 	}
 }
 
+// certHomeShard maps a CERT transaction's full data-set to its (single) home
+// shard group, or ErrCrossShardCert when the set spans groups.
+func (r *Replica) certHomeShard(rs stm.ReadSet, ws stm.WriteSet) (int, error) {
+	if len(r.shards) == 1 {
+		return 0, nil
+	}
+	home := -1
+	check := func(box string) error {
+		sh := r.shardOf(box)
+		if home == -1 {
+			home = sh
+			return nil
+		}
+		if sh != home {
+			return ErrCrossShardCert
+		}
+		return nil
+	}
+	for _, e := range rs {
+		if err := check(e.Box); err != nil {
+			return 0, err
+		}
+	}
+	for _, e := range ws {
+		if err := check(e.Box); err != nil {
+			return 0, err
+		}
+	}
+	if home == -1 {
+		home = 0
+	}
+	return home, nil
+}
+
 // certApply is the deterministic certification step, executed at every
-// replica in TO-delivery order. Because all CERT commits advance the store
-// clock only here, commit timestamps are identical cluster-wide and the
-// snapshot comparison is replica-independent.
-func (r *Replica) certApply(m *certMsg) {
-	valid := r.certValidate(m)
+// replica in the shard group's TO-delivery order. Valid transactions take
+// the next ordinal on the shard's TO commit clock — validity is itself a
+// deterministic function of the preceding TO history, so ordinals (and the
+// certLog they key) are identical cluster-wide, unlike the local store's
+// commit timestamp, which with several shards interleaves all groups'
+// applies in a replica-local order.
+func (r *Replica) certApply(s *shardState, m *certMsg) {
+	valid := r.certValidate(s, m)
 	if valid {
 		// Durability filter first (log-before-install); a CERT commit the
-		// store already absorbed (delta install overlap) is skipped whole.
-		if fresh := r.dur.append([]applyWSEntry{{TxnID: m.TxnID, WS: m.WS}}); len(fresh) > 0 {
-			ts := r.store.ApplyWriteSet(m.TxnID, m.WS)
-			r.certLog.append(ts, m.WS.BoxIDs())
+		// store already absorbed (delta install overlap) is skipped whole —
+		// its certLog digest arrived with the transferred window.
+		r.dur.applyMu.RLock()
+		ord := s.toOrd.Load() + 1
+		if fresh := r.dur.append(s.idx, []applyWSEntry{{TxnID: m.TxnID, Ord: ord, WS: m.WS}}); len(fresh) > 0 {
+			r.store.ApplyWriteSet(m.TxnID, m.WS)
+			s.certLog.append(ord, m.WS.BoxIDs())
+			s.advanceTO(ord)
+			r.dur.applyMu.RUnlock()
 			r.maybeGC()
+		} else {
+			r.dur.applyMu.RUnlock()
 		}
 	}
 	if m.TxnID.Replica == r.id {
@@ -126,35 +194,36 @@ func (r *Replica) certApply(m *certMsg) {
 }
 
 // certValidate checks the transaction's read-set against every write-set
-// committed after its snapshot. A snapshot older than the retained window
-// aborts conservatively (deterministically: the window is a shared
-// configuration and the clock is identical at every replica).
-func (r *Replica) certValidate(m *certMsg) bool {
-	clock := r.store.CommitTimestamp()
+// committed on its home shard after its snapshot. A snapshot older than the
+// retained window aborts conservatively (deterministically: the window is a
+// shared configuration and the TO clock is identical at every replica).
+func (r *Replica) certValidate(s *shardState, m *certMsg) bool {
+	clock := s.toOrd.Load()
 	if m.SnapshotOrd > clock {
 		// A snapshot from the future would mean clock divergence.
 		return false
 	}
-	if clock-m.SnapshotOrd > int64(r.certLog.capacity()) {
+	if clock-m.SnapshotOrd > int64(s.certLog.capacity()) {
 		return false
 	}
 	checker, err := m.checker()
 	if err != nil {
 		return false
 	}
-	return r.certLog.scan(m.SnapshotOrd+1, clock, func(box string) bool {
+	return s.certLog.scan(m.SnapshotOrd+1, clock, func(box string) bool {
 		return !checker.contains(box)
 	})
 }
 
-// certLogEntry is the digest of one committed write-set: its commit
-// timestamp and the boxes it wrote.
+// certLogEntry is the digest of one committed write-set: its TO-clock
+// ordinal and the boxes it wrote.
 type certLogEntry struct {
 	TS    int64
 	Boxes []string
 }
 
-// certLog is a ring of recent write-set digests indexed by commit timestamp.
+// certLog is a ring of recent write-set digests indexed by TO ordinal
+// (ordinals start at 1, so the zero TS doubles as the empty-slot sentinel).
 type certLog struct {
 	ring []certLogEntry
 }
@@ -169,7 +238,7 @@ func (l *certLog) append(ts int64, boxes []string) {
 	l.ring[ts%int64(len(l.ring))] = certLogEntry{TS: ts, Boxes: boxes}
 }
 
-// scan visits every box written at timestamps in [from, to]; it stops and
+// scan visits every box written at ordinals in [from, to]; it stops and
 // returns false as soon as keep returns false (conflict found) or an entry
 // is missing from the window.
 func (l *certLog) scan(from, to int64, keep func(box string) bool) bool {

@@ -11,13 +11,15 @@ import (
 	"github.com/alcstm/alc/internal/wire"
 )
 
-// The gob-vs-wire codec A/B, microscopic half (RunNetload is the end-to-end
-// half): encode and decode of a representative group-commit write-set batch —
-// the message the hot tcpnet path carries most — measured with allocs/op.
+// The gob-vs-wire codec A/B, microscopic half (bench.RunNetload is the
+// end-to-end half): encode and decode of a representative group-commit
+// write-set batch — the message the hot tcpnet path carries most — measured
+// with allocs/op.
 //
-// The gob benchmarks model tcpnet's actual gob mode: a persistent
-// encoder/decoder pair per connection, so type descriptors are transmitted
-// once and every measured iteration is steady-state.
+// The gob benchmarks model the retired gob framing (kept as the historical
+// baseline the binary codec replaced): a persistent encoder/decoder pair per
+// connection, so type descriptors are transmitted once and every measured
+// iteration is steady-state.
 
 // benchBatch builds a group-commit batch of 16 transactions, 4 writes each,
 // with small int values — the sharded-bank shape the throughput experiments
@@ -41,7 +43,7 @@ func benchBatch() *applyWSBatchMsg {
 	return &applyWSBatchMsg{Entries: entries}
 }
 
-// gobEnvelope mirrors tcpnet's gob-mode frame body.
+// gobEnvelope mirrors the retired gob framing's frame body.
 type gobEnvelope struct {
 	From    int32
 	Payload any

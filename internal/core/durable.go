@@ -89,18 +89,29 @@ type WALStats struct {
 }
 
 // walRecord is the payload of one WAL record: the write-set entries of one
-// applied batch, in apply order.
+// applied batch, in apply order, tagged with the shard group that delivered
+// it (replay filters each lane against its own shard's frontiers).
 type walRecord struct {
+	Shard   int
 	Entries []applyWSEntry
 }
 
+// walShardFrontier is one shard group's progress marker in the snapshot
+// file: the per-writer URB frontier plus the TO commit clock.
+type walShardFrontier struct {
+	Frontier map[transport.ID]uint64
+	TO       int64
+}
+
 // walSnapshot is the snapshot file payload: the store image plus the
-// per-writer applied frontier it corresponds to. Replay filters log records
-// through the frontier, so a crash between snapshot write and log truncation
-// only costs re-reading (not re-applying) covered records.
+// per-shard frontiers it corresponds to. Replay filters log records through
+// the frontiers, so a crash between snapshot write and log truncation only
+// costs re-reading (not re-applying) covered records. Frontier is the legacy
+// single-group field (pre-sharding snapshot files); Shards supersedes it.
 type walSnapshot struct {
 	Store    stm.StoreSnapshot
 	Frontier map[transport.ID]uint64
+	Shards   []walShardFrontier
 }
 
 func init() {
@@ -109,34 +120,56 @@ func init() {
 	gob.Register(&walSnapshot{})
 }
 
-// durable is the replica's durability + delta-transfer state. The in-memory
-// part (frontier, retained ring, evicted watermarks) is always active; the
-// log/snapshot part only when a directory is configured.
+// durShard is one shard group's slice of the durability + delta-transfer
+// bookkeeping.
 //
-// frontier[w] is the highest Seq of an applied write-set written by replica
-// w. It is the replica-independent progress marker deltas are keyed on:
-// commit timestamps diverge across replicas (each store assigns its own
-// tickets), but writer sequence numbers are assigned once, by the writer,
-// and per-writer application order is FIFO (causal URB + the apply
-// scheduler's per-sender ordering), so the frontier is monotone and exactly
-// characterizes "which transactions has this store absorbed".
-type durable struct {
-	cfg DurabilityConfig
-
-	mu       sync.Mutex
-	frontier map[transport.ID]uint64
+// frontier[w] is the highest Seq of an applied URB-lane write-set written by
+// replica w on this shard's channel. It is the replica-independent progress
+// marker deltas are keyed on: commit timestamps diverge across replicas
+// (each store assigns its own tickets), but writer sequence numbers are
+// assigned once, by the writer, and per-(writer, shard) application order is
+// FIFO (causal URB + the apply scheduler's per-channel ordering), so the
+// frontier is monotone and exactly characterizes "which URB transactions has
+// this store absorbed". toFrontier is the TO lane's marker: the shard's
+// commit clock ordinal of the latest absorbed TO-applied entry (CERT and
+// piggybacked commits), identical cluster-wide because ordinals are assigned
+// in TO-delivery order.
+type durShard struct {
+	frontier   map[transport.ID]uint64
+	toFrontier int64
 	// ring is the retained suffix of applied entries, oldest first, capped
-	// at cfg.Retain; evicted[w] is the highest Seq from writer w that has
-	// been dropped from the ring (a joiner needing anything ≤ evicted[w]
-	// that it does not already have must take a full transfer).
-	ring    []applyWSEntry
-	evicted map[transport.ID]uint64
+	// at cfg.Retain; evicted[w] / evictedTO are the highest URB Seq per
+	// writer / TO ordinal dropped from the ring (a joiner needing anything
+	// at or below them that it does not already have must take a full
+	// transfer).
+	ring      []applyWSEntry
+	evicted   map[transport.ID]uint64
+	evictedTO int64
 	// hasState means the store content exactly equals the frontier-implied
 	// state, so the frontier may be advertised in a joinReq: set for initial
 	// (non-joining) members at birth, after a successful local recovery, and
 	// after a full state install. Never set by a delta install alone (it was
 	// already required to be set for the delta to have been requested).
 	hasState bool
+}
+
+// durable is the replica's durability + delta-transfer state, one durShard
+// per shard group over a single WAL and snapshot file (the store is shared,
+// so its durable image is too). The in-memory part is always active; the
+// log/snapshot part only when a directory is configured.
+type durable struct {
+	cfg DurabilityConfig
+
+	// applyMu is the store/frontier consistency barrier: every applier holds
+	// it shared around {durability filter; store install}, the snapshot path
+	// holds it exclusively around {store cut; frontier copy; log reset}, so a
+	// snapshot never observes a logged frontier advance without its store
+	// effect — or a log record it is about to truncate uncovered. Lock order:
+	// applyMu before mu.
+	applyMu sync.RWMutex
+
+	mu     sync.Mutex
+	shards []durShard
 
 	log       *wal.Log
 	sinceSnap int
@@ -165,12 +198,15 @@ type durable struct {
 // configured, recovers the store from snapshot + log before returning. The
 // caller (NewReplica) runs this before the GCS endpoint exists, so recovery
 // has the store to itself.
-func newDurable(cfg DurabilityConfig, store *stm.Store) (*durable, error) {
+func newDurable(cfg DurabilityConfig, store *stm.Store, shards int) (*durable, error) {
 	cfg.fillDefaults()
 	d := &durable{
-		cfg:      cfg,
-		frontier: make(map[transport.ID]uint64),
-		evicted:  make(map[transport.ID]uint64),
+		cfg:    cfg,
+		shards: make([]durShard, shards),
+	}
+	for i := range d.shards {
+		d.shards[i].frontier = make(map[transport.ID]uint64)
+		d.shards[i].evicted = make(map[transport.ID]uint64)
 	}
 	if cfg.Dir == "" {
 		return d, nil
@@ -234,15 +270,45 @@ func (d *durable) recover(store *stm.Store) (int64, error) {
 			}
 			return 0, nil
 		}
-		store.Restore(snap.Store)
-		for w, seq := range snap.Frontier {
-			d.frontier[w] = seq
-			d.evicted[w] = seq // pre-snapshot entries are not in the ring
+		// A snapshot from a different shard-group count is useless: the
+		// class→shard mapping changed, so its per-shard frontiers describe
+		// lanes that no longer exist. Wipe and start stateless (full transfer
+		// on join) rather than recover a mis-partitioned history.
+		switch {
+		case len(snap.Shards) == len(d.shards):
+			for i, sf := range snap.Shards {
+				sh := &d.shards[i]
+				for w, seq := range sf.Frontier {
+					sh.frontier[w] = seq
+					sh.evicted[w] = seq // pre-snapshot entries are not in the ring
+				}
+				sh.toFrontier = sf.TO
+				sh.evictedTO = sf.TO
+			}
+		case len(snap.Shards) == 0 && len(d.shards) == 1:
+			sh := &d.shards[0] // legacy pre-sharding snapshot file
+			for w, seq := range snap.Frontier {
+				sh.frontier[w] = seq
+				sh.evicted[w] = seq
+			}
+		default:
+			d.errors.Inc()
+			if rmErr := wal.RemoveSnapshot(d.cfg.Dir); rmErr != nil {
+				return 0, fmt.Errorf("core: discard mis-sharded snapshot: %w", rmErr)
+			}
+			if rmErr := os.Remove(wal.LogPath(d.cfg.Dir)); rmErr != nil && !os.IsNotExist(rmErr) {
+				return 0, fmt.Errorf("core: discard orphaned wal: %w", rmErr)
+			}
+			return 0, nil
 		}
+		store.Restore(snap.Store)
 		d.recoveredSnap = true
-		d.hasState = true
+		for i := range d.shards {
+			d.shards[i].hasState = true
+		}
 	}
 
+	incompat := false
 	records, validSize, err := wal.Replay(wal.LogPath(d.cfg.Dir), func(payload []byte) error {
 		var rec walRecord
 		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); derr != nil {
@@ -252,13 +318,28 @@ func (d *durable) recover(store *stm.Store) (int64, error) {
 			// end-of-log.
 			return errStopReplay
 		}
+		if rec.Shard < 0 || rec.Shard >= len(d.shards) {
+			// Shard-group count changed across the restart with no snapshot
+			// to catch it: the recovered prefix cannot be advertised.
+			incompat = true
+			return errStopReplay
+		}
+		sh := &d.shards[rec.Shard]
 		for _, e := range rec.Entries {
-			if e.TxnID.Seq <= d.frontier[e.TxnID.Replica] {
-				continue // covered by the snapshot
+			if e.Ord > 0 {
+				if e.Ord <= sh.toFrontier {
+					continue // covered by the snapshot
+				}
+				store.ApplyWriteSet(e.TxnID, e.WS)
+				sh.toFrontier = e.Ord
+			} else {
+				if e.TxnID.Seq <= sh.frontier[e.TxnID.Replica] {
+					continue
+				}
+				store.ApplyWriteSet(e.TxnID, e.WS)
+				sh.frontier[e.TxnID.Replica] = e.TxnID.Seq
 			}
-			store.ApplyWriteSet(e.TxnID, e.WS)
-			d.frontier[e.TxnID.Replica] = e.TxnID.Seq
-			d.pushRetainedLocked(e)
+			d.pushRetainedLocked(sh, e)
 			d.replayEntries++
 		}
 		return nil
@@ -269,11 +350,18 @@ func (d *durable) recover(store *stm.Store) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if records > 0 {
+	if records > 0 && !incompat {
 		// The log is only ever truncated immediately after a snapshot is
 		// durably in place, so snapshot (possibly absent) + full log is a
 		// complete history: safe to advertise.
-		d.hasState = true
+		for i := range d.shards {
+			d.shards[i].hasState = true
+		}
+	}
+	if incompat {
+		for i := range d.shards {
+			d.shards[i].hasState = false
+		}
 	}
 	d.replayRecords = int64(records)
 	d.replayDuration = time.Since(start)
@@ -282,47 +370,73 @@ func (d *durable) recover(store *stm.Store) (int64, error) {
 
 var errStopReplay = fmt.Errorf("core: stop wal replay")
 
-// markComplete records that the store content is complete and matches the
-// frontier (initial member at birth, or full install).
+// markComplete records that the store content is complete and matches every
+// shard's frontier (initial member at birth, or full install).
 func (d *durable) markComplete() {
 	d.mu.Lock()
-	d.hasState = true
+	for i := range d.shards {
+		d.shards[i].hasState = true
+	}
 	d.mu.Unlock()
 }
 
-// pushRetainedLocked appends one applied entry to the delta window, evicting
-// from the front when over capacity. Caller holds d.mu (or has exclusive
-// access during recovery).
-func (d *durable) pushRetainedLocked(e applyWSEntry) {
-	if len(d.ring) >= d.cfg.Retain {
-		old := d.ring[0]
+// toOrd returns the shard's recovered TO commit clock (NewReplica seeds the
+// live clock from it after recovery).
+func (d *durable) toOrd(shard int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.shards[shard].toFrontier
+}
+
+// pushRetainedLocked appends one applied entry to the shard's delta window,
+// evicting from the front when over capacity. Caller holds d.mu (or has
+// exclusive access during recovery).
+func (d *durable) pushRetainedLocked(sh *durShard, e applyWSEntry) {
+	if len(sh.ring) >= d.cfg.Retain {
+		old := sh.ring[0]
 		// Shift rather than reslice so the backing array is reused and the
 		// evicted entry is released.
-		copy(d.ring, d.ring[1:])
-		d.ring = d.ring[:len(d.ring)-1]
-		if old.TxnID.Seq > d.evicted[old.TxnID.Replica] {
-			d.evicted[old.TxnID.Replica] = old.TxnID.Seq
+		copy(sh.ring, sh.ring[1:])
+		sh.ring = sh.ring[:len(sh.ring)-1]
+		if old.Ord > 0 {
+			if old.Ord > sh.evictedTO {
+				sh.evictedTO = old.Ord
+			}
+		} else if old.TxnID.Seq > sh.evicted[old.TxnID.Replica] {
+			sh.evicted[old.TxnID.Replica] = old.TxnID.Seq
 		}
 	}
-	d.ring = append(d.ring, e)
+	sh.ring = append(sh.ring, e)
 }
 
 // append is the durability tier's entry on the apply path, called BEFORE the
-// write-sets are installed in the store. It filters out entries already at
-// or below the applied frontier — the idempotence point that makes delta
-// installs safe when the advertised frontier went stale — advances the
-// frontier, retains the survivors in the delta window, and logs them. The
-// caller must apply exactly the returned slice to the store.
+// write-sets are installed in the store, under applyMu (shared). It filters
+// out entries the shard already absorbed — URB-lane entries (Ord == 0) at or
+// below the writer's frontier, TO-lane entries (Ord > 0) at or below the TO
+// frontier — the idempotence point that makes delta installs safe when the
+// advertised frontier went stale. Survivors advance their lane's frontier,
+// enter the delta window, and are logged; the caller must apply exactly the
+// returned slice to the store. A TO-lane entry deliberately does NOT touch
+// the writer's URB frontier: TO delivery does not respect URB sequence
+// order, so advancing it would make receivers drop the writer's own earlier
+// URB messages still in flight.
 //
 // Filtering and frontier advance happen under one lock acquisition; ordering
 // across conflicting batches is inherited from the apply scheduler (a
 // conflicting batch's append+apply fully precedes the next one's), so log
 // order is conflict-consistent with store order.
-func (d *durable) append(entries []applyWSEntry) []applyWSEntry {
+func (d *durable) append(shard int, entries []applyWSEntry) []applyWSEntry {
 	d.mu.Lock()
+	sh := &d.shards[shard]
 	fresh := entries
 	for i, e := range entries {
-		if e.TxnID.Seq <= d.frontier[e.TxnID.Replica] {
+		var stale bool
+		if e.Ord > 0 {
+			stale = e.Ord <= sh.toFrontier
+		} else {
+			stale = e.TxnID.Seq <= sh.frontier[e.TxnID.Replica]
+		}
+		if stale {
 			// Rare path: copy-on-first-skip keeps the common all-fresh case
 			// allocation-free.
 			if len(fresh) == len(entries) {
@@ -333,8 +447,12 @@ func (d *durable) append(entries []applyWSEntry) []applyWSEntry {
 		if len(fresh) != len(entries) {
 			fresh = append(fresh, e)
 		}
-		d.frontier[e.TxnID.Replica] = e.TxnID.Seq
-		d.pushRetainedLocked(e)
+		if e.Ord > 0 {
+			sh.toFrontier = e.Ord
+		} else {
+			sh.frontier[e.TxnID.Replica] = e.TxnID.Seq
+		}
+		d.pushRetainedLocked(sh, e)
 	}
 	logIt := d.log != nil && len(fresh) > 0
 	if logIt {
@@ -347,7 +465,7 @@ func (d *durable) append(entries []applyWSEntry) []applyWSEntry {
 
 	if logIt {
 		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&walRecord{Entries: fresh}); err != nil {
+		if err := gob.NewEncoder(&buf).Encode(&walRecord{Shard: shard, Entries: fresh}); err != nil {
 			// Unencodable values (unregistered types): degrade to memory-only
 			// rather than blocking commits.
 			d.errors.Inc()
@@ -376,9 +494,10 @@ func (d *durable) disableLog() {
 }
 
 // maybeSnapshot takes the periodic durable snapshot when the log has grown
-// past the configured threshold. It must run on the GCS dispatcher with the
-// apply stage drained: then no applier is concurrently advancing the store,
-// so the snapshot and the frontier copy describe exactly the same state.
+// past the configured threshold. Any dispatcher may call it; the exclusive
+// applyMu acquisition inside snapshot excludes every shard's appliers, so
+// the store cut and the per-shard frontier copies describe exactly the same
+// state.
 func (d *durable) maybeSnapshot(store *stm.Store) {
 	if !d.wantSnap.CompareAndSwap(true, false) {
 		return
@@ -386,32 +505,46 @@ func (d *durable) maybeSnapshot(store *stm.Store) {
 	d.snapshot(store)
 }
 
-// snapshot durably writes the store image + frontier, then truncates the
-// log. Crash windows: before the rename, the old snapshot+log still recover;
-// between rename and truncation, replay filters the (now covered) log
-// records through the new frontier. Same dispatcher/drained requirement as
-// maybeSnapshot.
+// snapshot durably writes the store image + per-shard frontiers, then
+// truncates the log. The whole {cut; write; reset} runs under applyMu held
+// exclusively: appenders write the log inside their shared acquisition, so
+// nothing can slip a record between the frontier copy and the truncation
+// and be lost to both. Crash windows: before the rename, the old
+// snapshot+log still recover; between rename and truncation, replay filters
+// the (now covered) log records through the new frontiers.
 func (d *durable) snapshot(store *stm.Store) {
+	d.applyMu.Lock()
 	d.mu.Lock()
 	log := d.log
-	f := make(map[transport.ID]uint64, len(d.frontier))
-	for w, seq := range d.frontier {
-		f[w] = seq
+	shards := make([]walShardFrontier, len(d.shards))
+	for i := range d.shards {
+		sh := &d.shards[i]
+		f := make(map[transport.ID]uint64, len(sh.frontier))
+		for w, seq := range sh.frontier {
+			f[w] = seq
+		}
+		shards[i] = walShardFrontier{Frontier: f, TO: sh.toFrontier}
 	}
 	d.mu.Unlock()
 	if log == nil {
+		d.applyMu.Unlock()
 		return
 	}
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&walSnapshot{Store: store.Snapshot(), Frontier: f}); err != nil {
+	err := gob.NewEncoder(&buf).Encode(&walSnapshot{Store: store.Snapshot(), Shards: shards})
+	if err != nil {
+		d.applyMu.Unlock()
 		d.errors.Inc()
 		return
 	}
 	if err := wal.WriteSnapshot(d.cfg.Dir, buf.Bytes()); err != nil {
+		d.applyMu.Unlock()
 		d.errors.Inc()
 		return
 	}
-	if err := log.Reset(); err != nil {
+	err = log.Reset()
+	d.applyMu.Unlock()
+	if err != nil {
 		d.errors.Inc()
 		d.disableLog()
 		return
@@ -423,35 +556,49 @@ func (d *durable) snapshot(store *stm.Store) {
 	d.lastSnapNanos.Store(time.Now().UnixNano())
 }
 
-// advertise returns a copy of the applied frontier for the next joinReq, or
-// nil when the local store is not a complete frontier-consistent state (a
-// nil advertisement makes the coordinator ship a full transfer).
-func (d *durable) advertise() map[transport.ID]uint64 {
+// advertise returns a copy of the shard's applied frontier for the next
+// joinReq — the per-writer URB frontier plus, keyed under transport.Nobody
+// (no writer ever has that ID, and it keeps the wire format a plain ID→seq
+// map), the TO commit clock — or nil when the local store is not a complete
+// frontier-consistent state (a nil advertisement makes the coordinator ship
+// a full transfer).
+func (d *durable) advertise(shard int) map[transport.ID]uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if !d.hasState {
+	sh := &d.shards[shard]
+	if !sh.hasState {
 		return nil
 	}
-	f := make(map[transport.ID]uint64, len(d.frontier))
-	for w, seq := range d.frontier {
+	f := make(map[transport.ID]uint64, len(sh.frontier)+1)
+	for w, seq := range sh.frontier {
 		f[w] = seq
 	}
+	f[transport.Nobody] = uint64(sh.toFrontier)
 	return f
 }
 
-// delta computes the entry suffix a joiner at frontier f is missing, oldest
-// first. ok=false demands a full transfer: the joiner claims progress this
-// replica cannot verify (f ahead of our frontier — incomparable histories),
-// or the gap reaches entries already evicted from the retained window.
-func (d *durable) delta(f map[transport.ID]uint64) ([]applyWSEntry, bool) {
+// delta computes the entry suffix a joiner at frontier f is missing on this
+// shard, oldest first. ok=false demands a full transfer: the joiner claims
+// progress this replica cannot verify (f ahead of our frontiers —
+// incomparable histories), or the gap reaches entries already evicted from
+// the retained window.
+func (d *durable) delta(shard int, f map[transport.ID]uint64) ([]applyWSEntry, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	sh := &d.shards[shard]
+	fTO := int64(f[transport.Nobody])
+	if fTO > sh.toFrontier {
+		return nil, false
+	}
 	for w, seq := range f {
-		if seq > d.frontier[w] {
+		if w != transport.Nobody && seq > sh.frontier[w] {
 			return nil, false
 		}
 	}
-	for w, ev := range d.evicted {
+	if sh.evictedTO > fTO {
+		return nil, false
+	}
+	for w, ev := range sh.evicted {
 		if ev > f[w] {
 			// Entries from w beyond the joiner's frontier were dropped from
 			// the window: the suffix is incomplete.
@@ -459,31 +606,42 @@ func (d *durable) delta(f map[transport.ID]uint64) ([]applyWSEntry, bool) {
 		}
 	}
 	var out []applyWSEntry
-	for _, e := range d.ring {
-		if e.TxnID.Seq > f[e.TxnID.Replica] {
+	for _, e := range sh.ring {
+		if e.Ord > 0 {
+			if e.Ord > fTO {
+				out = append(out, e)
+			}
+		} else if e.TxnID.Seq > f[e.TxnID.Replica] {
 			out = append(out, e)
 		}
 	}
 	return out, true
 }
 
-// installFull resets the durability state around a full state transfer: the
-// transferred store IS the new baseline, so the delta window restarts empty
-// at the transferred frontier and, when persistence is on, a fresh durable
-// snapshot replaces whatever the directory held (without it, a crash would
-// recover pre-transfer state and replay post-transfer records on top of it).
-// Runs on the dispatcher with applies drained (InstallState).
-func (d *durable) installFull(f map[transport.ID]uint64, store *stm.Store) {
+// installFull resets the shard's durability state around a full state
+// transfer: the transferred slice IS the shard's new baseline, so its delta
+// window restarts empty at the transferred frontier and, when persistence is
+// on, a fresh durable snapshot replaces whatever the directory held (without
+// it, a crash would recover pre-transfer state and replay post-transfer
+// records on top of it). Runs on the shard's dispatcher with its applies
+// drained (InstallState), after the store install.
+func (d *durable) installFull(shard int, f map[transport.ID]uint64, store *stm.Store) {
 	d.mu.Lock()
-	d.frontier = make(map[transport.ID]uint64, len(f))
-	d.evicted = make(map[transport.ID]uint64, len(f))
+	sh := &d.shards[shard]
+	sh.frontier = make(map[transport.ID]uint64, len(f))
+	sh.evicted = make(map[transport.ID]uint64, len(f))
 	for w, seq := range f {
-		d.frontier[w] = seq
-		d.evicted[w] = seq
+		if w == transport.Nobody {
+			continue
+		}
+		sh.frontier[w] = seq
+		sh.evicted[w] = seq
 	}
-	d.ring = nil
+	sh.toFrontier = int64(f[transport.Nobody])
+	sh.evictedTO = sh.toFrontier
+	sh.ring = nil
 	d.sinceSnap = 0
-	d.hasState = true
+	sh.hasState = true
 	hasLog := d.log != nil
 	d.mu.Unlock()
 	d.fullInstalled.Inc()
@@ -518,7 +676,10 @@ func encodedSize(v any) int64 {
 func (d *durable) stats() WALStats {
 	d.mu.Lock()
 	enabled := d.cfg.Dir != ""
-	retained := int64(len(d.ring))
+	var retained int64
+	for i := range d.shards {
+		retained += int64(len(d.shards[i].ring))
+	}
 	d.mu.Unlock()
 	return WALStats{
 		Enabled:               enabled,

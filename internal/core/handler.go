@@ -11,80 +11,89 @@ import (
 	"github.com/alcstm/alc/internal/transport"
 )
 
-// gcsHandler adapts a Replica to the gcs.Handler interface without exposing
-// the upcall methods on the Replica's public API. All methods run on the GCS
-// dispatcher goroutine, sequentially, in delivery order.
-type gcsHandler Replica
+// shardHandler adapts one shard group of a Replica to the gcs.Handler
+// interface without exposing the upcall methods on the Replica's public API.
+// All methods run on that shard's GCS dispatcher goroutine, sequentially, in
+// the group's delivery order; different shards' handlers run concurrently,
+// which is safe because conflict classes (and therefore boxes) partition
+// exactly by shard.
+type shardHandler struct {
+	r *Replica
+	s *shardState
+}
 
-var _ gcs.Handler = (*gcsHandler)(nil)
+var _ gcs.Handler = (*shardHandler)(nil)
 
-func (h *gcsHandler) rep() *Replica { return (*Replica)(h) }
-
-// OnOptDeliver feeds optimistically delivered lease requests to the lease
-// manager (§4.5 optimization (b): early lease freeing).
-func (h *gcsHandler) OnOptDeliver(from transport.ID, body any) {
+// OnOptDeliver feeds optimistically delivered lease requests to the shard's
+// lease manager (§4.5 optimization (b): early lease freeing).
+func (h *shardHandler) OnOptDeliver(from transport.ID, body any) {
 	if req, ok := body.(*lease.Request); ok {
-		h.rep().lm.HandleRequestOpt(req)
+		h.s.lm.HandleRequestOpt(req)
 	}
 }
 
-// OnTODeliver routes totally ordered messages: lease requests to the lease
-// manager, certification messages to the CERT validator. Lease handling
-// reads the store (piggybacked certification, lease handover), so the apply
-// stage is drained first: everything delivered earlier is fully applied.
-func (h *gcsHandler) OnTODeliver(from transport.ID, body any) {
-	r := h.rep()
+// OnTODeliver routes totally ordered messages: lease requests to the shard's
+// lease manager, certification messages to the CERT validator. Lease handling
+// reads the store (piggybacked certification, lease handover), so the shard's
+// apply lane is drained first: everything this group delivered earlier is
+// fully applied.
+func (h *shardHandler) OnTODeliver(from transport.ID, body any) {
+	r, s := h.r, h.s
 	switch m := body.(type) {
 	case *lease.Request:
-		r.drainApplies()
-		r.lm.HandleRequestTO(m)
+		r.drainApplies(s.idx)
+		s.lm.HandleRequestTO(m)
 	case *certMsg:
-		r.certApply(m)
+		r.certApply(s, m)
 	}
 	r.maybeDurableSnapshot()
 }
 
 // OnURDeliver routes causally ordered messages: write-set applications and
 // lease releases.
-func (h *gcsHandler) OnURDeliver(from transport.ID, body any) {
-	r := h.rep()
+func (h *shardHandler) OnURDeliver(from transport.ID, body any) {
+	r, s := h.r, h.s
 	switch m := body.(type) {
 	case *applyWSMsg:
-		r.enqueueApply(from, []applyWSEntry{{TxnID: m.TxnID, LeaseID: m.LeaseID, WS: m.WS}}, false)
+		r.enqueueApply(s, from, []applyWSEntry{{TxnID: m.TxnID, LeaseID: m.LeaseID, WS: m.WS}}, false)
 	case *applyWSBatchMsg:
-		r.enqueueApply(from, m.Entries, true)
+		r.enqueueApply(s, from, m.Entries, true)
 	case *lease.Freed:
 		// A lease may only move to its next holder after every write-set
-		// it covered is applied: drain before processing the release.
-		r.drainApplies()
-		r.lm.HandleFreed(m)
+		// it covered is applied: drain this shard before the release.
+		r.drainApplies(s.idx)
+		s.lm.HandleFreed(m)
 	}
 	r.maybeDurableSnapshot()
 }
 
-// maybeDurableSnapshot runs the periodic durable snapshot on the dispatcher,
-// behind the apply barrier: with no applier in flight the store content and
-// the applied frontier describe exactly the same state, which is the
-// invariant the snapshot file encodes.
+// maybeDurableSnapshot runs the periodic durable snapshot. Store/frontier
+// consistency comes from the durability tier's apply barrier (dur.applyMu):
+// the snapshot excludes every in-flight applier on every shard, so the store
+// content and the per-shard applied frontiers describe exactly the same
+// state — the invariant the snapshot file encodes.
 func (r *Replica) maybeDurableSnapshot() {
 	if !r.dur.wantSnap.Load() {
 		return
 	}
-	r.drainApplies()
 	r.dur.maybeSnapshot(r.store)
 }
 
-// OnViewChange installs the new membership.
-func (h *gcsHandler) OnViewChange(v gcs.View) {
-	r := h.rep()
-	r.drainApplies()
+// OnViewChange installs the shard group's new membership.
+func (h *shardHandler) OnViewChange(v gcs.View) {
+	r, s := h.r, h.s
+	r.drainApplies(s.idx)
 	r.viewMu.Lock()
-	r.view = v
+	s.view = v
 	r.viewCond.Broadcast()
 	r.viewMu.Unlock()
-	r.primary.Store(v.Primary)
-	r.lm.HandleViewChange(v.Members, v.Rejoined)
-	if t := r.cfg.Tracer; t != nil {
+	s.primary.Store(v.Primary)
+	r.recomputePrimary()
+	s.lm.HandleViewChange(v.Members, v.Rejoined)
+	// The router's affinity map keys view transitions on a single monotonic
+	// view ID; shard groups install views independently, so only shard 0
+	// narrates membership (all groups share one member set).
+	if t := r.cfg.Tracer; t != nil && s.idx == 0 {
 		t.Emit(trace.Event{Replica: r.id, Kind: trace.KindView,
 			Msg: fmt.Sprintf("view %d members=%v rejoined=%v primary=%t",
 				v.ID, v.Members, v.Rejoined, v.Primary),
@@ -95,115 +104,161 @@ func (h *gcsHandler) OnViewChange(v gcs.View) {
 }
 
 // OnEjected fails every in-flight commit: only read-only transactions remain
-// serviceable outside the primary component.
-func (h *gcsHandler) OnEjected() {
-	r := h.rep()
+// serviceable outside the primary component. Ejection from ANY shard group
+// makes the whole replica non-primary (updates need all their home shards),
+// so all shards' coalescers are failed, not just this one's.
+func (h *shardHandler) OnEjected() {
+	r, s := h.r, h.s
+	s.primary.Store(false)
 	r.primary.Store(false)
-	r.drainApplies()
-	r.lm.HandleEjected()
+	r.drainApplies(s.idx)
+	s.lm.HandleEjected()
 	// Order matters: with primary already false, a committer that enqueues
 	// after this fail is rejected by the coalescer itself, so no stale
 	// write-set can linger and be broadcast after a rejoin.
-	r.coal.fail(ErrEjected)
+	for _, sh := range r.shards {
+		sh.coal.fail(ErrEjected)
+	}
+	r.failGroups()
 	r.failAllWaiters(ErrEjected)
 	// Clear reservations (their write-sets will never self-deliver) and
 	// wake waiting committers so they observe the ejection.
 	r.inflight.reset()
 }
 
-// StateSnapshot captures the replica's full application state for a joiner.
-func (h *gcsHandler) StateSnapshot() any {
-	r := h.rep()
-	r.drainApplies()
+// StateSnapshot captures this shard group's application state for a joiner:
+// the shard's slice of the STM heap, its lease table, its CERT window, and
+// its applied frontier. The store cut is taken under the apply barrier, so
+// it matches the frontier exactly.
+func (h *shardHandler) StateSnapshot() any {
+	r, s := h.r, h.s
+	r.drainApplies(s.idx)
+	r.dur.applyMu.Lock()
+	snap := r.store.Snapshot()
+	frontier := r.dur.advertise(s.idx)
+	r.dur.applyMu.Unlock()
+	if len(r.shards) > 1 {
+		snap.Boxes = r.filterShardBoxes(snap.Boxes, s.idx)
+	}
 	st := &xferState{
-		Store:    r.store.Snapshot(),
-		Leases:   r.lm.SnapshotState(),
-		CertLog:  r.certLog.snapshot(),
-		Frontier: r.dur.advertise(),
+		Store:    snap,
+		Leases:   s.lm.SnapshotState(),
+		CertLog:  s.certLog.snapshot(),
+		Frontier: frontier,
 	}
 	r.dur.fullsServed.Inc()
 	r.dur.lastFullBytes.Store(encodedSize(any(st)))
 	return st
 }
 
+// filterShardBoxes keeps only the boxes whose conflict class lives on the
+// given shard (a full store snapshot spans every group's data).
+func (r *Replica) filterShardBoxes(boxes []stm.BoxState, shard int) []stm.BoxState {
+	out := boxes[:0]
+	for _, b := range boxes {
+		if r.shardOf(b.Box) == shard {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // StateDelta serves an incremental state transfer for a joiner that
-// advertised applied frontier f: only the write-set entries past f, plus the
-// (small) lease table and CERT window. ok=false when the joiner's gap
-// outruns the retained delta window or its frontier is incomparable — the
-// caller then falls back to StateSnapshot. Runs on the GCS dispatcher
-// (gcs.DeltaProvider).
-func (h *gcsHandler) StateDelta(f map[transport.ID]uint64) (any, bool) {
-	r := h.rep()
-	r.drainApplies()
-	entries, ok := r.dur.delta(f)
+// advertised applied frontier f on this shard: only the write-set entries
+// past f, plus the (small) lease table and CERT window. ok=false when the
+// joiner's gap outruns the retained delta window or its frontier is
+// incomparable — the caller then falls back to StateSnapshot. Runs on the
+// shard's GCS dispatcher (gcs.DeltaProvider).
+func (h *shardHandler) StateDelta(f map[transport.ID]uint64) (any, bool) {
+	r, s := h.r, h.s
+	r.drainApplies(s.idx)
+	entries, ok := r.dur.delta(s.idx, f)
 	if !ok {
 		return nil, false
 	}
 	st := &xferDelta{
 		Entries: entries,
-		Leases:  r.lm.SnapshotState(),
-		CertLog: r.certLog.snapshot(),
+		Leases:  s.lm.SnapshotState(),
+		CertLog: s.certLog.snapshot(),
 	}
 	r.dur.deltasServed.Inc()
 	r.dur.lastDeltaBytes.Store(encodedSize(any(st)))
 	return st, true
 }
 
-// InstallState adopts a transferred application state (joining replica):
-// either the full snapshot or, when this replica advertised a usable applied
-// frontier, just the missing write-set suffix applied on top of the locally
-// recovered state.
-func (h *gcsHandler) InstallState(state any) {
-	r := h.rep()
+// InstallState adopts a transferred application state (joining replica, this
+// shard group): either the shard's full snapshot or, when this replica
+// advertised a usable applied frontier, just the missing write-set suffix
+// applied on top of the locally recovered state.
+func (h *shardHandler) InstallState(state any) {
+	r, s := h.r, h.s
 	switch st := state.(type) {
 	case *xferState:
-		r.drainApplies()
+		r.drainApplies(s.idx)
 		// Anything still queued locally predates the transferred state and is
 		// void (the joiner's waiters were already failed at ejection).
-		r.coal.fail(ErrEjected)
+		s.coal.fail(ErrEjected)
 		r.inflight.reset()
-		r.store.Restore(st.Store)
-		r.lm.InstallState(st.Leases)
-		r.certLog.restore(st.CertLog)
-		r.dur.installFull(st.Frontier, r.store)
+		r.dur.applyMu.Lock()
+		if len(r.shards) > 1 {
+			// Only this shard's boxes travel in the snapshot: upsert them,
+			// leaving the other groups' slices (installed by their own
+			// transfers) untouched.
+			r.store.RestorePartial(st.Store)
+		} else {
+			r.store.Restore(st.Store)
+		}
+		r.dur.applyMu.Unlock()
+		s.lm.InstallState(st.Leases)
+		s.certLog.restore(st.CertLog)
+		s.toOrd.Store(toFrontierOf(st.Frontier))
+		r.dur.installFull(s.idx, st.Frontier, r.store)
 	case *xferDelta:
-		r.drainApplies()
-		r.coal.fail(ErrEjected)
+		r.drainApplies(s.idx)
+		s.coal.fail(ErrEjected)
 		r.inflight.reset()
 		// applyEntries runs the normal apply path: the durability filter
 		// drops entries this store already absorbed (the advertised frontier
 		// can be stale — an ejected replica keeps applying URB deliveries
 		// after its joinReq went out), the survivors are WAL-logged, applied,
-		// and retained for onward deltas.
+		// and retained for onward deltas. TO-lane entries re-advance the
+		// shard's commit clock through their original ordinals.
 		if len(st.Entries) > 0 {
-			r.applyEntries(st.Entries, false)
+			r.applyEntries(s, st.Entries, false)
 		}
-		r.lm.InstallState(st.Leases)
-		r.certLog.restore(st.CertLog)
+		s.lm.InstallState(st.Leases)
+		s.certLog.restore(st.CertLog)
 		r.dur.deltaInstalled.Inc()
 	}
 }
 
-// drainApplies blocks the dispatcher until the apply stage has executed
-// every delivered write-set. Upcalls that read or replace the store — lease
-// transfers, view changes, state snapshot/install — run behind this barrier
-// and therefore observe exactly the synchronous delivery semantics of the
-// unbatched pipeline.
-func (r *Replica) drainApplies() {
+// toFrontierOf extracts the TO-lane clock from an advertised frontier map
+// (carried under transport.Nobody so the wire format of the per-writer map
+// is unchanged).
+func toFrontierOf(f map[transport.ID]uint64) int64 {
+	return int64(f[transport.Nobody])
+}
+
+// drainApplies blocks the calling dispatcher until the apply stage has
+// executed every delivered write-set of the given shard. Upcalls that read
+// or replace the shard's slice of the store — lease transfers, view changes,
+// state snapshot/install — run behind this barrier and therefore observe
+// exactly the synchronous delivery semantics of the unbatched pipeline.
+func (r *Replica) drainApplies(shard int) {
 	if r.sched != nil {
-		r.sched.drain()
+		r.sched.drain(shard)
 	}
 }
 
 // enqueueApply hands UR-delivered write-sets (the paper's commitRemoteXact;
 // for the replica's own transactions, the commit confirmation) to the
 // parallel apply stage, or applies them inline when batching is disabled.
-// Entries of one message apply in order; messages of one sender or with
-// intersecting conflict classes apply in delivery order; everything else
-// runs concurrently on the worker pool.
-func (r *Replica) enqueueApply(from transport.ID, entries []applyWSEntry, fromBatch bool) {
+// Entries of one message apply in order; messages of one (sender, shard)
+// channel or with intersecting conflict classes apply in delivery order;
+// everything else runs concurrently on the worker pool.
+func (r *Replica) enqueueApply(s *shardState, from transport.ID, entries []applyWSEntry, fromBatch bool) {
 	if r.sched == nil {
-		r.applyEntries(entries, fromBatch)
+		r.applyEntries(s, entries, fromBatch)
 		return
 	}
 	boxes := make([]string, 0, len(entries)*2)
@@ -215,7 +270,8 @@ func (r *Replica) enqueueApply(from transport.ID, entries []applyWSEntry, fromBa
 	r.sched.submit(&applyTask{
 		classes: r.classes(boxes),
 		sender:  from,
-		run:     func() { r.applyEntries(entries, fromBatch) },
+		shard:   s.idx,
+		run:     func() { r.applyEntries(s, entries, fromBatch) },
 	})
 }
 
@@ -225,16 +281,25 @@ func (r *Replica) enqueueApply(from transport.ID, entries []applyWSEntry, fromBa
 // already absorbed (idempotence across delta installs and stale-frontier
 // overlaps), logs the survivors, and only those reach the store — but local
 // waiters are resolved for every entry addressed to us, filtered or not
-// (a filtered own entry means the commit is already durable here).
-func (r *Replica) applyEntries(entries []applyWSEntry, fromBatch bool) {
+// (a filtered own entry means the commit is already durable here). The whole
+// append+apply runs under the durability tier's shared apply barrier so a
+// concurrent snapshot never observes a frontier without its store effect.
+func (r *Replica) applyEntries(s *shardState, entries []applyWSEntry, fromBatch bool) {
 	applyStart := time.Now()
 	defer func() { r.stageApply.Observe(time.Since(applyStart)) }()
-	fresh := r.dur.append(entries)
+	r.dur.applyMu.RLock()
+	fresh := r.dur.append(s.idx, entries)
 	batch := make([]stm.TxnWriteSet, len(fresh))
 	for i, e := range fresh {
 		batch[i] = stm.TxnWriteSet{Writer: e.TxnID, WS: e.WS}
 	}
 	r.store.ApplyWriteSets(batch)
+	for _, e := range fresh {
+		if e.Ord > 0 {
+			s.advanceTO(e.Ord)
+		}
+	}
+	r.dur.applyMu.RUnlock()
 	mine := false
 	for _, e := range entries {
 		if e.TxnID.Replica == r.id {
@@ -247,16 +312,19 @@ func (r *Replica) applyEntries(entries []applyWSEntry, fromBatch bool) {
 		r.maybeGC()
 	}
 	if mine && fromBatch {
-		r.coal.batchDelivered()
+		s.coal.batchDelivered()
 	}
 }
 
 // onEnabledPayload certifies a §4.5(c) piggybacked transaction the moment
-// its lease request is established. Every replica performs the same
-// writer-identity validation against an identical (conflict-ordered) store
-// state, so the outcome is deterministic cluster-wide; on success the
-// write-set is applied immediately — no separate broadcast.
-func (r *Replica) onEnabledPayload(req *lease.Request) {
+// its lease request is established on its home shard. Every replica performs
+// the same writer-identity validation against an identical (conflict-ordered)
+// store state, so the outcome is deterministic cluster-wide; on success the
+// write-set is applied immediately — no separate broadcast. Valid payloads
+// are TO-lane applies: they take the next ordinal on the shard's commit
+// clock rather than advancing the writer's URB frontier (the TO lane does
+// not respect URB sequence order).
+func (r *Replica) onEnabledPayload(s *shardState, req *lease.Request) {
 	p, ok := req.Payload.(*certPayload)
 	if !ok || p == nil {
 		return
@@ -279,9 +347,15 @@ func (r *Replica) onEnabledPayload(req *lease.Request) {
 	if valid {
 		// Through the durability filter like every applied write-set: logged
 		// before installed, skipped entirely if already absorbed.
-		if fresh := r.dur.append([]applyWSEntry{{TxnID: p.TxnID, WS: p.WS}}); len(fresh) > 0 {
+		r.dur.applyMu.RLock()
+		ord := s.toOrd.Load() + 1
+		if fresh := r.dur.append(s.idx, []applyWSEntry{{TxnID: p.TxnID, Ord: ord, WS: p.WS}}); len(fresh) > 0 {
 			r.store.ApplyWriteSet(p.TxnID, p.WS)
+			s.advanceTO(ord)
+			r.dur.applyMu.RUnlock()
 			r.maybeGC()
+		} else {
+			r.dur.applyMu.RUnlock()
 		}
 	}
 	if p.TxnID.Replica == r.id {

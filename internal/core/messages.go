@@ -23,10 +23,18 @@ type applyWSMsg struct {
 	WS      stm.WriteSet
 }
 
-// applyWSEntry is one transaction's write-set inside an applyWSBatchMsg.
+// applyWSEntry is one transaction's write-set inside an applyWSBatchMsg. It
+// is also the durability tier's retained-entry unit, so it carries the lane
+// the entry was delivered on: Ord == 0 means the causally ordered URB lane
+// (filtered and replayed by the writer's per-replica sequence number), Ord > 0
+// means the totally ordered lane (CERT certification or a lease-piggybacked
+// write-set) where it is the entry's position in the shard's TO-applied log —
+// identical at every replica, unlike the writer's URB sequence, which the TO
+// lane does not respect.
 type applyWSEntry struct {
 	TxnID   stm.TxnID
 	LeaseID lease.RequestID
+	Ord     int64
 	WS      stm.WriteSet
 }
 

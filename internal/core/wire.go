@@ -21,6 +21,8 @@ const (
 	tagLeaseState   byte = 0x26
 	tagXferState    byte = 0x27
 	tagXferDelta    byte = 0x28
+	tagShardEnv     byte = 0x29
+	tagGroupEnv     byte = 0x2A
 )
 
 // RegisterBinary installs the hand-rolled binary codecs for every
@@ -180,6 +182,51 @@ func RegisterBinary() {
 			m.CertLog = readCertLog(r)
 			return m, r.Err()
 		})
+	wire.Register(tagShardEnv, &transport.ShardEnvelope{},
+		func(b []byte, v any) ([]byte, error) {
+			m := v.(*transport.ShardEnvelope)
+			b = append(b, m.Shard)
+			return wire.AppendAny(b, m.Body)
+		},
+		func(r *wire.Reader) (any, error) {
+			m := &transport.ShardEnvelope{Shard: r.Byte()}
+			var err error
+			if m.Body, err = wire.ReadAny(r); err != nil {
+				return nil, err
+			}
+			return m, r.Err()
+		})
+	wire.Register(tagGroupEnv, &transport.GroupEnvelope{},
+		func(b []byte, v any) ([]byte, error) {
+			m := v.(*transport.GroupEnvelope)
+			b = wire.AppendUvarint(b, uint64(len(m.Envs)))
+			var err error
+			for _, env := range m.Envs {
+				if b, err = wire.AppendAny(b, env); err != nil {
+					return nil, err
+				}
+			}
+			return b, nil
+		},
+		func(r *wire.Reader) (any, error) {
+			n := int(r.Uvarint())
+			if n < 0 || n > 1<<16 {
+				return nil, fmt.Errorf("core: group envelope count %d", n)
+			}
+			m := &transport.GroupEnvelope{Envs: make([]*transport.ShardEnvelope, 0, n)}
+			for i := 0; i < n; i++ {
+				v, err := wire.ReadAny(r)
+				if err != nil {
+					return nil, err
+				}
+				env, ok := v.(*transport.ShardEnvelope)
+				if !ok {
+					return nil, fmt.Errorf("core: group envelope part %T", v)
+				}
+				m.Envs = append(m.Envs, env)
+			}
+			return m, r.Err()
+		})
 }
 
 // ---------------------------------------------------------------------------
@@ -297,6 +344,7 @@ func appendWSEntries(b []byte, entries []applyWSEntry) ([]byte, error) {
 	for _, e := range entries {
 		b = appendTxnID(b, e.TxnID)
 		b = appendLeaseReqID(b, e.LeaseID)
+		b = wire.AppendVarint(b, e.Ord)
 		var err error
 		if b, err = appendWriteSet(b, e.WS); err != nil {
 			return b, err
@@ -320,6 +368,7 @@ func readWSEntries(r *wire.Reader) ([]applyWSEntry, error) {
 	for i := range entries {
 		entries[i].TxnID = readTxnID(r)
 		entries[i].LeaseID = readLeaseReqID(r)
+		entries[i].Ord = r.Varint()
 		wn := r.Count()
 		for j := 0; j < wn; j++ {
 			box := r.String()

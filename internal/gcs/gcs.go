@@ -259,6 +259,11 @@ type Endpoint struct {
 type outMsg struct {
 	kind byte
 	body any
+	// group, when non-nil, marks this entry as one part of a cross-channel
+	// atomic broadcast: it holds its outbox position (head-of-line) until
+	// every sibling part is at its own head, then the group transmits all
+	// parts in one frame per peer. See group.go.
+	group *Group
 }
 
 // NewEndpoint creates and starts a GCS endpoint over the given transport.
@@ -496,15 +501,27 @@ func (e *Endpoint) runUpcalls() {
 }
 
 // drainOutbox transmits queued application broadcasts unless a flush is in
-// progress.
+// progress. A group part at the head is not popped: it holds the outbox
+// until the group completes (all sibling parts at their heads) or fails.
 func (e *Endpoint) drainOutbox() {
+	var attempt *Group
 	for {
 		e.mu.Lock()
 		if e.blocked || e.joining || len(e.outbox) == 0 || e.stopped {
 			e.mu.Unlock()
-			return
+			break
 		}
 		m := e.outbox[0]
+		if g := m.group; g != nil {
+			if g.canceled() {
+				e.outbox = e.outbox[1:]
+				e.mu.Unlock()
+				continue
+			}
+			e.mu.Unlock()
+			attempt = g
+			break
+		}
 		e.outbox = e.outbox[1:]
 		if !e.inPrimary {
 			e.mu.Unlock()
@@ -512,6 +529,11 @@ func (e *Endpoint) drainOutbox() {
 		}
 		e.broadcastDataLocked(m.kind, m.body)
 		e.mu.Unlock()
+	}
+	if attempt != nil {
+		// Outside our own lock: completion multi-locks every involved
+		// endpoint in group order.
+		attempt.tryComplete()
 	}
 }
 

@@ -23,8 +23,9 @@ const (
 )
 
 // RegisterBinary installs the hand-rolled binary codecs for every GCS wire
-// type. RegisterWire calls it, so transports get both serializations and
-// tcpnet.Config.Codec picks which one frames the connection.
+// type. RegisterWire calls it; the binary codec is the only frame codec
+// tcpnet speaks (gob registration survives solely for the wire codec's
+// app-value fallback).
 func RegisterBinary() {
 	wire.Register(tagURBData, &urbData{},
 		func(b []byte, v any) ([]byte, error) { return appendURBData(b, v.(*urbData)) },

@@ -18,8 +18,8 @@ func commit(id stm.TxnID, rs stm.ReadSet, ws stm.WriteSet) core.TxnReport {
 	return core.TxnReport{ID: id, RS: rs, WS: ws, Protocol: core.ProtocolALC}
 }
 
-func read(box string, w stm.TxnID) stm.ReadEntry  { return stm.ReadEntry{Box: box, Writer: w} }
-func write(box string) stm.WriteEntry             { return stm.WriteEntry{Box: box, Value: 1} }
+func read(box string, w stm.TxnID) stm.ReadEntry { return stm.ReadEntry{Box: box, Writer: w} }
+func write(box string) stm.WriteEntry            { return stm.WriteEntry{Box: box, Value: 1} }
 func orders(m map[string][]stm.TxnID) map[transport.ID]map[string][]stm.TxnID {
 	return map[transport.ID]map[string][]stm.TxnID{0: m}
 }

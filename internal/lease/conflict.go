@@ -41,6 +41,11 @@ func (m Mapper) Classes(ids []string) []ConflictClass {
 	return out
 }
 
+// ClassOf maps a single data item ID to its conflict class (the scalar form
+// of Classes; shard routing and the offline history checker use it to derive
+// an item's home shard via ShardOf).
+func (m Mapper) ClassOf(id string) ConflictClass { return m.classOf(id) }
+
 func (m Mapper) classOf(id string) ConflictClass {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(id))

@@ -1,0 +1,26 @@
+package lease
+
+// ShardOf maps a conflict class to one of `shards` independent lease/broadcast
+// groups. The mapping is a pure function of the class value, so every replica
+// (and the offline history checker) derives the same partition without any
+// coordination. Classes are themselves hashes of item identifiers, but they
+// are not uniformly distributed when Mapper.NumClasses is small (classes are
+// then small integers), so the class value is re-mixed through the splitmix64
+// finalizer before reduction.
+//
+// shards <= 1 means sharding is disabled and everything lives in group 0.
+func ShardOf(c ConflictClass, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(shardMix(uint64(c)) % uint64(shards))
+}
+
+// shardMix is the splitmix64 finalizer (same mixer route.Router uses for
+// rendezvous hashing).
+func shardMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,66 @@
+package lease
+
+import "testing"
+
+// ShardOf is wire-adjacent: every replica, the router and the offline
+// history checker derive a class's home group independently, so the mapping
+// must be a stable pure function, in range, and not degenerate for the
+// small-integer classes a bounded Mapper.NumClasses produces.
+
+func TestShardOfDisabledAndRange(t *testing.T) {
+	for _, c := range []ConflictClass{0, 1, 42, ^ConflictClass(0)} {
+		if got := ShardOf(c, 0); got != 0 {
+			t.Fatalf("ShardOf(%d, 0) = %d, want 0", c, got)
+		}
+		if got := ShardOf(c, 1); got != 0 {
+			t.Fatalf("ShardOf(%d, 1) = %d, want 0", c, got)
+		}
+		for _, s := range []int{2, 3, 4, 7, 16} {
+			got := ShardOf(c, s)
+			if got < 0 || got >= s {
+				t.Fatalf("ShardOf(%d, %d) = %d, out of range", c, s, got)
+			}
+			if again := ShardOf(c, s); again != got {
+				t.Fatalf("ShardOf(%d, %d) unstable: %d then %d", c, s, got, again)
+			}
+		}
+	}
+}
+
+func TestShardOfSpreadsSmallIntegerClasses(t *testing.T) {
+	// Bounded mappers yield classes 0..N-1; the splitmix64 re-mix must still
+	// spread them. With 1024 consecutive classes over 4 shards a fair spread
+	// is 256 per shard; accept a generous ±50% band — the test guards
+	// against degeneracy (one shard swallowing everything), not exact
+	// uniformity.
+	const classes, shards = 1024, 4
+	var counts [shards]int
+	for c := 0; c < classes; c++ {
+		counts[ShardOf(ConflictClass(c), shards)]++
+	}
+	for sh, n := range counts {
+		if n < classes/shards/2 || n > classes/shards*3/2 {
+			t.Fatalf("shard %d got %d of %d classes (counts %v)", sh, n, classes, counts)
+		}
+	}
+}
+
+func TestShardOfItemGranularity(t *testing.T) {
+	// The item-granularity mapper (NumClasses=0) hashes item names; the
+	// composed item→class→shard mapping must spread real key shapes too.
+	var m Mapper
+	const items, shards = 1024, 4
+	var counts [shards]int
+	for i := 0; i < items; i++ {
+		counts[ShardOf(m.ClassOf(itemName(i)), shards)]++
+	}
+	for sh, n := range counts {
+		if n < items/shards/2 || n > items/shards*3/2 {
+			t.Fatalf("shard %d got %d of %d items (counts %v)", sh, n, items, counts)
+		}
+	}
+}
+
+func itemName(i int) string {
+	return "acct:" + string(rune('a'+i%26)) + ":" + string(rune('0'+(i/26)%10)) + string(rune('0'+(i/260)%10))
+}

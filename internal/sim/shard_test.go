@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/alcstm/alc/internal/memnet"
+	"github.com/alcstm/alc/internal/randseed"
+)
+
+// TestShardedSimSeeds is the multi-group counterpart of TestSimSeeds: the
+// same fault-schedule matrix run with the conflict classes partitioned
+// across two lease/broadcast groups, so every schedule exercises concurrent
+// per-group delivery, cross-shard certification commits (the bank workloads
+// transfer between accounts of different groups), and per-shard state
+// transfer — all certified by the same 1-copy-serializability checker. The
+// batch as a whole must certify at least one cross-shard commit, or the
+// matrix silently stopped covering the cross-shard path.
+func TestShardedSimSeeds(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 20
+	}
+	if s := os.Getenv("ALC_SIM_SEEDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			t.Fatalf("bad ALC_SIM_SEEDS=%q", s)
+		}
+		n = v
+	}
+	root := randseed.Root()
+	t.Logf("root seed %d (%d schedules, 2 shards); reproduce with %s=%d go test -run TestShardedSimSeeds ./internal/sim/",
+		root, n, randseed.EnvVar, root)
+
+	var cross atomic.Int64
+	t.Run("matrix", func(t *testing.T) {
+		gate := make(chan struct{}, 8)
+		for i := 0; i < n; i++ {
+			seed := randseed.Derive(root, fmt.Sprintf("sim-shard-schedule-%d", i))
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				gate <- struct{}{}
+				defer func() { <-gate }()
+				res := Run(Config{Seed: seed, Shards: 2})
+				cross.Add(int64(res.Verdict.CrossShardCommits))
+				if !res.OK() {
+					recordFailingSeed(t, seed)
+					t.Errorf("%s", res.Summary())
+					t.Errorf("schedule: %s", res.Schedule)
+					t.Errorf("replay: go run ./cmd/alc-sim -seed=%d -shards=2", seed)
+				}
+			})
+		}
+	})
+	if cross.Load() == 0 {
+		t.Error("matrix certified no cross-shard commit: the cross-shard path went unexercised")
+	}
+}
+
+// TestShardedFourGroups spot-checks a higher group count: the ascending
+// shard-order lease acquisition and the counting commit waiter must behave
+// identically at S=4.
+func TestShardedFourGroups(t *testing.T) {
+	n := 8
+	if testing.Short() {
+		n = 3
+	}
+	root := randseed.Root()
+	gate := make(chan struct{}, 4)
+	for i := 0; i < n; i++ {
+		seed := randseed.Derive(root, fmt.Sprintf("sim-shard4-schedule-%d", i))
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			gate <- struct{}{}
+			defer func() { <-gate }()
+			res := Run(Config{Seed: seed, Shards: 4})
+			if !res.OK() {
+				recordFailingSeed(t, seed)
+				t.Errorf("%s", res.Summary())
+				t.Errorf("replay: go run ./cmd/alc-sim -seed=%d -shards=4", seed)
+			}
+		})
+	}
+}
+
+// TestShardedFaultBattery pins one deliberately hostile timeline — message
+// drops and duplicates, a crash with recovery, a partition with heal —
+// over the sorted-set workload at two shard groups, and requires the run to
+// certify cross-shard commits under it (treap structural updates touch many
+// boxes per transaction, so they reliably span both groups — the fixed
+// account pairs of the bank workloads only straddle shards by luck of the
+// hash). This is the scenario where a partial cross-shard apply would
+// surface: a portion lost on one group fails the checker's
+// committed-write-lost check.
+func TestShardedFaultBattery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	const ms = time.Millisecond
+	sched := &Schedule{
+		Seed:           424242,
+		Replicas:       4,
+		Workload:       WorkloadSortedSet,
+		HighContention: true,
+		Faults:         memnet.Faults{Seed: 424242, Drop: 0.02, Duplicate: 0.03},
+		Events: []Event{
+			{At: 40 * ms, Kind: EventCrash, Victim: 0},
+			{At: 100 * ms, Kind: EventRestart, Victim: 0},
+			{At: 150 * ms, Kind: EventPartition, Victim: 1},
+			{At: 200 * ms, Kind: EventHeal},
+		},
+	}
+	res := Run(Config{Schedule: sched, Shards: 2, Load: 280 * ms})
+	if !res.OK() {
+		t.Fatalf("%s\nschedule: %s", res.Summary(), res.Schedule)
+	}
+	if res.Commits == 0 {
+		t.Fatal("fault battery committed nothing")
+	}
+	if res.Verdict.CrossShardCommits == 0 {
+		t.Fatal("fault battery certified no cross-shard commit")
+	}
+}
+
+// TestShardedDurableRestart drives the per-shard WAL lanes: a durable
+// two-group run whose victim recovers from its own disk state (both lanes'
+// frontiers) and rejoins each group via that group's delta or full
+// transfer.
+func TestShardedDurableRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full simulation")
+	}
+	const ms = time.Millisecond
+	sched := &Schedule{
+		Seed:           777001,
+		Replicas:       3,
+		Workload:       WorkloadBank,
+		HighContention: true,
+		Events: []Event{
+			{At: 60 * ms, Kind: EventCrash, Victim: 0},
+			{At: 140 * ms, Kind: EventRestart, Victim: 0},
+		},
+	}
+	res := Run(Config{Schedule: sched, Shards: 2, Durable: true, Load: 250 * ms})
+	if !res.OK() {
+		t.Fatalf("%s\nschedule: %s", res.Summary(), res.Schedule)
+	}
+	if res.Commits == 0 {
+		t.Fatal("durable sharded run committed nothing")
+	}
+}

@@ -15,38 +15,6 @@ import (
 // what the GCS leans on during real deployments — a flaky peer must degrade
 // into message loss, never into a wedged or crashed transport.
 
-// newGroupCodec is newGroup with an explicit frame codec.
-func newGroupCodec(t *testing.T, n int, codec string) []*Transport {
-	t.Helper()
-	addrs := make(map[transport.ID]string, n)
-	for i := 0; i < n; i++ {
-		tr, err := New(Config{
-			Self:  transport.ID(i),
-			Addrs: map[transport.ID]string{transport.ID(i): "127.0.0.1:0"},
-			Codec: codec,
-		})
-		if err != nil {
-			t.Fatalf("bootstrap transport %d: %v", i, err)
-		}
-		addrs[transport.ID(i)] = tr.Addr()
-		_ = tr.Close()
-	}
-	out := make([]*Transport, n)
-	for i := 0; i < n; i++ {
-		tr, err := New(Config{Self: transport.ID(i), Addrs: addrs, Codec: codec, Logf: t.Logf})
-		if err != nil {
-			t.Fatalf("transport %d: %v", i, err)
-		}
-		out[i] = tr
-	}
-	t.Cleanup(func() {
-		for _, tr := range out {
-			_ = tr.Close()
-		}
-	})
-	return out
-}
-
 // TestGarbageOnWireDropsConnection writes bytes that are not even a
 // handshake straight at the listener: the connection must be refused loudly
 // (counted as a handshake reject) without disturbing healthy connections.
@@ -150,75 +118,42 @@ func TestPartialFrameMidWire(t *testing.T) {
 	}
 }
 
-// TestCodecCrossCompatFailsLoudly runs a wire-mode node and a gob-mode node
-// as one two-member cluster. The mixed links must be refused at handshake —
-// observable rejects on both sides — and never corrupt into a delivered
-// message.
-func TestCodecCrossCompatFailsLoudly(t *testing.T) {
-	// Learn two free ports.
-	boot := newGroup(t, 2)
-	addrs := map[transport.ID]string{0: boot[0].Addr(), 1: boot[1].Addr()}
-	for _, tr := range boot {
-		_ = tr.Close()
+// TestLegacyGobHandshakeRefused simulates a node from the retired gob-framing
+// release dialing in: its handshake names codec 'G', which this transport no
+// longer speaks. The link must be refused at handshake — an observable reject
+// — and never corrupt into a delivered message.
+func TestLegacyGobHandshakeRefused(t *testing.T) {
+	trs := newGroup(t, 2)
+
+	raw, err := net.Dial("tcp", trs[1].Addr())
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	defer raw.Close()
+	if err := wire.WriteHandshake(raw, wire.CodecGob); err != nil {
+		t.Fatalf("handshake: %v", err)
 	}
 
-	mk := func(id transport.ID, codec string) *Transport {
-		var tr *Transport
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			var err error
-			tr, err = New(Config{
-				Self: id, Addrs: addrs, Codec: codec,
-				RedialInterval: 20 * time.Millisecond,
-				Logf:           t.Logf,
-			})
-			if err == nil {
-				return tr
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("rebind %v: %v", addrs[id], err)
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-	}
-	wireNode := mk(0, CodecWire)
-	defer wireNode.Close()
-	gobNode := mk(1, CodecGob)
-	defer gobNode.Close()
-
-	// Both directions: every delivery attempt must bounce at the handshake.
 	deadline := time.Now().Add(5 * time.Second)
-	for wireNode.HandshakeRejects() == 0 || gobNode.HandshakeRejects() == 0 {
-		_ = wireNode.Send(1, &testPayload{N: 1})
-		_ = gobNode.Send(0, &testPayload{N: 2})
+	for trs[1].HandshakeRejects() == 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("mixed-codec links were not rejected (wire=%d gob=%d rejects)",
-				wireNode.HandshakeRejects(), gobNode.HandshakeRejects())
+			t.Fatal("legacy gob handshake was never rejected")
 		}
-		time.Sleep(20 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond)
 	}
 
-	// Silent corruption check: nothing may have been delivered anywhere.
+	// Silent corruption check: nothing may surface, and healthy wire links
+	// must be unaffected.
 	select {
-	case m := <-wireNode.Inbox():
-		t.Fatalf("wire node delivered %#v from a gob peer", m.Payload)
-	case m := <-gobNode.Inbox():
-		t.Fatalf("gob node delivered %#v from a wire peer", m.Payload)
+	case m := <-trs[1].Inbox():
+		t.Fatalf("legacy gob connection delivered %#v", m.Payload)
 	case <-time.After(100 * time.Millisecond):
 	}
-}
-
-// TestGobFallbackCodec keeps the legacy gob framing working end to end while
-// it remains a supported fallback.
-func TestGobFallbackCodec(t *testing.T) {
-	trs := newGroupCodec(t, 2, CodecGob)
-	want := &testPayload{N: 7, Text: "gob fallback", Tags: []string{"a"}}
-	if err := trs[0].Send(1, want); err != nil {
+	if err := trs[0].Send(1, &testPayload{N: 42}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
-	got, ok := recvOne(t, trs[1]).Payload.(*testPayload)
-	if !ok || got.N != want.N || got.Text != want.Text {
-		t.Fatalf("payload = %#v, want %#v", got, want)
+	if got := recvOne(t, trs[1]).Payload.(*testPayload).N; got != 42 {
+		t.Fatalf("payload N = %d, want 42", got)
 	}
 }
 

@@ -7,22 +7,21 @@
 // connections are established lazily and re-dialed in the background after
 // failures.
 //
-// Two frame codecs exist. The default, "wire", is the hand-rolled binary
-// codec from internal/wire: length-prefixed frames, one tag byte per message
-// type, reused buffers on both the encode and decode path. "gob" keeps the
-// previous encoding/gob streams as an A/B fallback for one release. Every
-// connection opens with an 8-byte handshake naming the codec, so a gob-mode
-// node and a wire-mode node in one cluster fail loudly at accept time instead
-// of corrupting each other's streams.
+// Frames use the hand-rolled binary codec from internal/wire: length-prefixed
+// frames, one tag byte per message type, reused buffers on both the encode
+// and decode path. Every connection opens with an 8-byte handshake naming the
+// codec, so a node from the retired gob-framing release (or a stray client on
+// the replica port) fails loudly at accept time instead of corrupting the
+// stream. Gob survives only as the wire codec's app-value fallback (tag 0x0F)
+// for box value types without a registered binary codec.
 //
 // All payload types crossing the wire must be registered: gcs.RegisterWire
-// and core.RegisterWire cover the protocol stack under both codecs, and
-// applications register their box value types via core.RegisterValue.
+// and core.RegisterWire cover the protocol stack, and applications register
+// their box value types via core.RegisterValue.
 package tcpnet
 
 import (
 	"bufio"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -33,15 +32,6 @@ import (
 
 	"github.com/alcstm/alc/internal/transport"
 	"github.com/alcstm/alc/internal/wire"
-)
-
-// Codec names accepted by Config.Codec.
-const (
-	// CodecWire selects the binary codec (default).
-	CodecWire = "wire"
-	// CodecGob selects the legacy gob codec (fallback for one release;
-	// slated for removal once the binary codec has baked).
-	CodecGob = "gob"
 )
 
 // Config describes the process and its peers.
@@ -56,10 +46,6 @@ type Config struct {
 	RedialInterval time.Duration
 	// QueueSize bounds per-peer send queues and the inbox. Default 8192.
 	QueueSize int
-	// Codec selects the frame encoding: CodecWire (default) or CodecGob.
-	// Every node of a cluster must run the same codec; mixed links are
-	// refused at handshake.
-	Codec string
 	// MaxFrame caps inbound wire-codec frame bodies (hostile or corrupt
 	// length prefixes are rejected before allocation). Default 64 MiB —
 	// state-transfer snapshots are the largest legitimate frames.
@@ -83,32 +69,10 @@ func (c *Config) fillDefaults() error {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
 	}
-	switch c.Codec {
-	case "":
-		c.Codec = CodecWire
-	case CodecWire, CodecGob:
-	default:
-		return fmt.Errorf("tcpnet: unknown codec %q (want %q or %q)", c.Codec, CodecWire, CodecGob)
-	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
 	return nil
-}
-
-// codecByte maps the codec name to its handshake identity.
-func (c *Config) codecByte() byte {
-	if c.Codec == CodecGob {
-		return wire.CodecGob
-	}
-	return wire.CodecWire
-}
-
-// envelope is the gob-codec wire frame (the binary codec uses
-// wire.AppendEnvelope instead).
-type envelope struct {
-	From    transport.ID
-	Payload any
 }
 
 // Transport is a TCP-backed transport endpoint.
@@ -162,9 +126,6 @@ func (t *Transport) Addr() string { return t.ln.Addr().String() }
 
 // Self returns the local process ID.
 func (t *Transport) Self() transport.ID { return t.cfg.Self }
-
-// Codec returns the codec this transport frames connections with.
-func (t *Transport) Codec() string { return t.cfg.Codec }
 
 // Inbox returns the incoming message stream.
 func (t *Transport) Inbox() <-chan transport.Message { return t.inbox }
@@ -273,18 +234,14 @@ func (t *Transport) readLoop(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 
 	// Every connection opens with the codec handshake. A mismatch is a
-	// deployment error (mixed -codec cluster, or a stray client on the
-	// replica port): refuse the connection and say so loudly.
-	if err := wire.ReadHandshake(br, t.cfg.codecByte()); err != nil {
+	// deployment error (a node from the retired gob-framing release, or a
+	// stray client on the replica port): refuse the connection and say so
+	// loudly.
+	if err := wire.ReadHandshake(br, wire.CodecWire); err != nil {
 		t.rejectMu.Lock()
 		t.handshakeRejects++
 		t.rejectMu.Unlock()
 		t.cfg.Logf("tcpnet[%d]: refusing connection from %s: %v", t.cfg.Self, conn.RemoteAddr(), err)
-		return
-	}
-
-	if t.cfg.Codec == CodecGob {
-		t.readLoopGob(br)
 		return
 	}
 	t.readLoopWire(br)
@@ -323,22 +280,6 @@ func (t *Transport) readLoopWire(br *bufio.Reader) {
 	}
 }
 
-// readLoopGob decodes legacy gob streams into the inbox.
-func (t *Transport) readLoopGob(br *bufio.Reader) {
-	dec := gob.NewDecoder(br)
-	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			return
-		}
-		select {
-		case t.inbox <- transport.Message{From: env.From, Payload: env.Payload}:
-		case <-t.done:
-			return
-		}
-	}
-}
-
 // peer manages the outgoing connection to one process.
 type peer struct {
 	t     *Transport
@@ -361,10 +302,7 @@ func (p *peer) enqueue(payload any) {
 
 func (p *peer) close() { p.once.Do(func() { close(p.stop) }) }
 
-// frameBuf is a reusable encode buffer. Under the gob codec the encoder holds
-// a reference to it for the lifetime of a connection (a gob stream must keep
-// one encoder: restarting it would re-issue wire type IDs and desynchronize
-// the peer's decoder), so the buffer is reset in place between frames rather
+// frameBuf is a reusable encode buffer, reset in place between frames rather
 // than reallocated. reset clamps retained capacity so one oversized frame
 // (e.g. a state-transfer snapshot) does not pin its allocation forever.
 type frameBuf struct {
@@ -395,19 +333,17 @@ func (p *peer) run() {
 	defer p.t.wg.Done()
 	var (
 		conn net.Conn
-		enc  *gob.Encoder // gob codec only
 		buf  frameBuf
 	)
 	disconnect := func() {
 		if conn != nil {
 			_ = conn.Close()
-			conn, enc = nil, nil
+			conn = nil
 			buf.b = nil
 		}
 	}
 	defer disconnect()
 
-	gobMode := p.t.cfg.Codec == CodecGob
 	for {
 		var payload any
 		select {
@@ -431,27 +367,11 @@ func (p *peer) run() {
 				}
 				continue
 			}
-			if err := wire.WriteHandshake(c, p.t.cfg.codecByte()); err != nil {
+			if err := wire.WriteHandshake(c, wire.CodecWire); err != nil {
 				_ = c.Close()
 				continue
 			}
 			conn = c
-			if gobMode {
-				enc = gob.NewEncoder(&buf)
-			}
-		}
-
-		if gobMode {
-			buf.reset()
-			if err := enc.Encode(envelope{From: p.t.cfg.Self, Payload: payload}); err != nil {
-				p.t.cfg.Logf("tcpnet[%d]: gob encode to %d: %v", p.t.cfg.Self, p.id, err)
-				disconnect()
-				continue
-			}
-			if _, err := conn.Write(buf.b); err != nil {
-				disconnect()
-			}
-			continue
 		}
 
 		buf.reset()

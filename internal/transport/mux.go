@@ -1,0 +1,194 @@
+package transport
+
+import "sync"
+
+// ShardEnvelope wraps a payload with the shard group it belongs to, so that
+// several logical group-communication channels can multiplex over one
+// physical transport connection per peer pair. The envelope is the unit the
+// wire codec sees (internal/core registers it); the Body is any registered
+// protocol message.
+type ShardEnvelope struct {
+	Shard uint8
+	Body  any
+}
+
+// GroupEnvelope carries several shard envelopes in one parent-transport
+// frame. The frame is the atomicity unit of the physical transport, so either
+// every wrapped message reaches the peer or none does — the property a
+// cross-shard commit needs for its per-shard portions: a peer that received
+// any portion holds all of them and the per-channel reliable-broadcast relay
+// can complete each one independently.
+type GroupEnvelope struct {
+	Envs []*ShardEnvelope
+}
+
+// SendGroup transmits payloads[i] on trs[i], all to the same destination.
+// When every transport is a lane of the same Mux the payloads travel as one
+// GroupEnvelope frame — all-or-nothing on the wire. Otherwise it degrades to
+// individual sends (no cross-transport atomicity exists to be had).
+func SendGroup(to ID, trs []Transport, payloads []any) error {
+	if len(trs) != len(payloads) {
+		panic("transport: SendGroup length mismatch")
+	}
+	if len(trs) == 0 {
+		return nil
+	}
+	var mux *Mux
+	envs := make([]*ShardEnvelope, 0, len(trs))
+	atomic := true
+	for i, tr := range trs {
+		st, ok := tr.(*subTransport)
+		if !ok || (mux != nil && st.mux != mux) {
+			atomic = false
+			break
+		}
+		mux = st.mux
+		envs = append(envs, &ShardEnvelope{Shard: st.shard, Body: payloads[i]})
+	}
+	if atomic {
+		return mux.parent.Send(to, &GroupEnvelope{Envs: envs})
+	}
+	var firstErr error
+	for i, tr := range trs {
+		if err := tr.Send(to, payloads[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Mux splits one Transport into n independent sub-transports, one per shard
+// group. Sends are wrapped in a ShardEnvelope; a pump goroutine unwraps
+// incoming envelopes and routes them to the matching sub-transport's inbox.
+//
+// Per (sender, receiver, shard) FIFO order is inherited from the parent's per
+// (sender, receiver) FIFO order: the pump dispatches in arrival order and
+// blocks (rather than drops) when a sub-inbox is full, so backpressure
+// propagates to the parent inbox exactly as a slow single-group consumer
+// would.
+//
+// Closing the mux (or the parent transport stopping) closes every
+// sub-transport's Done channel; the parent itself is never closed by the mux.
+type Mux struct {
+	parent Transport
+	subs   []*subTransport
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// subInboxDepth bounds each shard's staged inbox. Generous, so one shard's
+// momentarily busy dispatcher does not head-of-line-block the others; bounded,
+// so a stuck dispatcher eventually backpressures the whole connection instead
+// of accumulating unbounded memory.
+const subInboxDepth = 1024
+
+// NewMux wraps parent into n sub-transports and starts the routing pump.
+func NewMux(parent Transport, n int) *Mux {
+	m := &Mux{
+		parent: parent,
+		subs:   make([]*subTransport, n),
+		done:   make(chan struct{}),
+	}
+	for i := range m.subs {
+		m.subs[i] = &subTransport{
+			mux:   m,
+			shard: uint8(i),
+			inbox: make(chan Message, subInboxDepth),
+		}
+	}
+	go m.run()
+	return m
+}
+
+// Sub returns the sub-transport for shard i.
+func (m *Mux) Sub(i int) Transport { return m.subs[i] }
+
+// Close stops the pump and signals Done on every sub-transport. The parent
+// transport is left open (its owner closes it).
+func (m *Mux) Close() {
+	m.stopOnce.Do(func() { close(m.done) })
+}
+
+func (m *Mux) run() {
+	inbox := m.parent.Inbox()
+	parentDone := m.parent.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-parentDone:
+			m.Close()
+			return
+		case msg := <-inbox:
+			switch env := msg.Payload.(type) {
+			case *ShardEnvelope:
+				if !m.route(msg.From, env, parentDone) {
+					return
+				}
+			case *GroupEnvelope:
+				// Route the parts in frame order: each lands on its own
+				// shard's inbox before the pump touches the next frame, so
+				// per-(sender, shard) FIFO is preserved.
+				for _, e := range env.Envs {
+					if !m.route(msg.From, e, parentDone) {
+						return
+					}
+				}
+			default:
+				// Not ours: a peer without sharding configured.
+			}
+		}
+	}
+}
+
+// route stages one unwrapped message on its shard's inbox, blocking (order-
+// preserving) when full. It returns false when the mux shut down mid-route.
+func (m *Mux) route(from ID, env *ShardEnvelope, parentDone <-chan struct{}) bool {
+	s := int(env.Shard)
+	if s >= len(m.subs) {
+		return true
+	}
+	out := Message{From: from, Payload: env.Body}
+	select {
+	case m.subs[s].inbox <- out:
+	default:
+		// Sub-inbox full: block, preserving order, but stay responsive to
+		// shutdown.
+		select {
+		case m.subs[s].inbox <- out:
+		case <-m.done:
+			return false
+		case <-parentDone:
+			m.Close()
+			return false
+		}
+	}
+	return true
+}
+
+// subTransport is one shard's view of the muxed parent transport.
+type subTransport struct {
+	mux   *Mux
+	shard uint8
+	inbox chan Message
+}
+
+var _ Transport = (*subTransport)(nil)
+
+func (s *subTransport) Self() ID { return s.mux.parent.Self() }
+
+func (s *subTransport) Send(to ID, payload any) error {
+	return s.mux.parent.Send(to, &ShardEnvelope{Shard: s.shard, Body: payload})
+}
+
+func (s *subTransport) Inbox() <-chan Message { return s.inbox }
+
+func (s *subTransport) Done() <-chan struct{} { return s.mux.done }
+
+// Close closes the whole mux: sub-transports share the parent's lifetime and
+// cannot outlive each other meaningfully.
+func (s *subTransport) Close() error {
+	s.mux.Close()
+	return nil
+}

@@ -12,7 +12,9 @@ import (
 const (
 	// CodecWire is the binary inter-replica protocol (this package).
 	CodecWire byte = 'B'
-	// CodecGob is the legacy gob inter-replica protocol (fallback release).
+	// CodecGob identifies the retired gob inter-replica framing. No endpoint
+	// speaks it anymore; the byte survives so a legacy node dialing in is
+	// named in the rejection instead of reading as garbage.
 	CodecGob byte = 'G'
 	// CodecClient is the client request/response protocol (client.go).
 	CodecClient byte = 'C'

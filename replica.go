@@ -72,11 +72,11 @@ func (r *Replica) Stats() Stats {
 	return statsFrom(rep.Stats())
 }
 
-// HoldsLease reports whether the replica currently holds the lease covering
-// the given data items (ALC diagnostics).
+// HoldsLease reports whether the replica currently holds the leases covering
+// the given data items, on every shard group they map to (ALC diagnostics).
 func (r *Replica) HoldsLease(items ...string) bool {
 	rep := r.rep()
-	return rep != nil && rep.LeaseManager().HoldsLease(items)
+	return rep != nil && rep.HoldsLease(items)
 }
 
 // GC prunes old box versions unreachable by any active transaction,
